@@ -1,0 +1,129 @@
+"""Ablation: what does type-driven merging buy? (DESIGN.md experiment A1)
+
+Three head-to-head comparisons on identical workloads, isolating the two
+design decisions of §4:
+
+1. **merging vs. path enumeration** — the number of solver problems a
+   symbolic-execution engine creates grows with the path count, while the
+   SVM produces one encoding;
+2. **type-driven vs. logical-only merging** — disabling structural merging
+   (the BMC-style baseline) inflates union cardinalities from O(n) to
+   O(paths) on list-manipulating code and on the IFCL machine;
+3. **concrete evaluation** — the WEBSYNTH interpreter under the SVM keeps
+   every union away (all structure concrete), which no merging at all can
+   match.
+"""
+
+import pytest
+
+from repro.baselines import SymbolicExecutor, run_with_logical_merging
+from repro.sym import fresh_int, ops, set_default_int_width
+from repro.sym.merge import merge_strategy
+from repro.vm import builtins as B
+from repro.vm.context import VM, current
+
+
+def rev_pos(xs):
+    ps = ()
+    for x in xs:
+        ps = current().branch(ops.gt(x, 0),
+                              lambda x=x, ps=ps: B.cons(x, ps),
+                              lambda ps=ps: ps)
+    return ps
+
+
+def test_merge_strategy_on_lists(benchmark):
+    set_default_int_width(8)
+    size = 6
+
+    def program():
+        xs = tuple(fresh_int("x") for _ in range(size))
+        return rev_pos(xs)
+
+    def compare():
+        with VM() as typed_vm:
+            typed_vm.stats.start()
+            typed = program()
+            typed_vm.stats.stop()
+        logical_vm, logical, _ = run_with_logical_merging(program)
+        return (typed_vm.stats, len(typed),
+                logical_vm.stats, len(logical))
+
+    typed_stats, typed_card, logical_stats, logical_card = \
+        benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nA1.2 revPos(n={size}): type-driven union={typed_card} "
+          f"(sum {typed_stats.union_cardinality_sum}) vs "
+          f"logical-only union={logical_card} "
+          f"(sum {logical_stats.union_cardinality_sum})")
+    assert typed_card == size + 1           # Fig. 6: linear
+    assert logical_card > typed_card        # path-proportional
+    assert logical_stats.union_cardinality_sum > \
+        typed_stats.union_cardinality_sum
+
+
+def test_merge_strategy_on_ifcl(benchmark):
+    """The IFCL machine state under both strategies (3 steps)."""
+    from repro.sdsl.ifcl import BUGGY_MACHINES, eeni_thunks
+    set_default_int_width(5)
+    bound = 3
+
+    def evaluate():
+        setup, check, _ = eeni_thunks(BUGGY_MACHINES["B1"], bound)
+        with VM() as vm:
+            vm.stats.start()
+            setup()
+            check()
+            vm.stats.stop()
+        return vm.stats
+
+    def compare():
+        typed = evaluate()
+        with merge_strategy("logical"):
+            logical = evaluate()
+        return typed, logical
+
+    typed, logical = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nA1.2 IFCL B1@{bound}: type-driven sum="
+          f"{typed.union_cardinality_sum} max={typed.max_union_cardinality} "
+          f"vs logical-only sum={logical.union_cardinality_sum} "
+          f"max={logical.max_union_cardinality}")
+    assert logical.union_cardinality_sum > typed.union_cardinality_sum
+
+
+def test_path_explosion_vs_single_encoding(benchmark):
+    set_default_int_width(8)
+
+    def compare():
+        rows = []
+        for size in (3, 5, 7):
+            def program(size=size):
+                xs = tuple(fresh_int("x") for _ in range(size))
+                return rev_pos(xs)
+            executor = SymbolicExecutor()
+            paths = sum(1 for _ in executor.explore(program))
+            with VM() as vm:
+                program()
+            rows.append((size, paths, vm.stats.joins))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nA1.1 path explosion (n, symex paths, SVM joins):")
+    for size, paths, joins in rows:
+        print(f"  n={size}: paths={paths} vs joins={joins}")
+        assert paths == 2 ** size
+        assert joins == size               # linear in program size
+
+
+def test_concrete_evaluation_strips_host_constructs(benchmark):
+    """WEBSYNTH under the SVM: zero unions regardless of tree size."""
+    from repro.sdsl.websynth import SITE_SPECS, generate_site, synthesize_xpath
+    set_default_int_width(16)
+
+    def run():
+        root, _, examples = generate_site(SITE_SPECS[0], scale=0.1)
+        return synthesize_xpath(root, examples)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nA1.3 websynth: joins={result.stats.joins}, "
+          f"unions={result.stats.unions_created} (all structure concrete)")
+    assert result.stats.unions_created == 0

@@ -1,0 +1,76 @@
+"""Figure 10: union-cardinality growth for B1v across verification bounds.
+
+The paper executes the B1v benchmark with bounds 1..15 and plots the sum
+of symbolic-union cardinalities against the number of control-flow joins,
+fitting the slow-growing quadratic ``y = 3.1e-5 x² + 1.23x − 494`` with
+R² = 0.9993 — the evidence that type-driven merging keeps state polynomial
+despite exponentially many paths.
+
+This benchmark regenerates the series. Only *evaluation* is measured (the
+figure is about the SVM, not the solver), so it sweeps deep bounds
+cheaply. The quadratic fit and its R² are computed with numpy and printed;
+the assertions check the paper's qualitative claims: monotone growth and a
+(near-)quadratic fit far below exponential growth.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sym import set_default_int_width
+from repro.vm.context import VM
+from repro.sdsl.ifcl import BUGGY_MACHINES, eeni_thunks
+
+from conftest import FULL
+
+MAX_BOUND = 15 if FULL else 10
+
+
+def _evaluate_b1v(bound: int):
+    """Run only the SVM evaluation of B1v at the given bound."""
+    setup, check, _ = eeni_thunks(BUGGY_MACHINES["B1"], bound)
+    with VM() as vm:
+        vm.stats.start()
+        setup()
+        check()
+        vm.stats.stop()
+        return vm.stats
+
+
+def test_fig10_union_growth(benchmark):
+    set_default_int_width(5)
+
+    def sweep():
+        series = []
+        for bound in range(1, MAX_BOUND + 1):
+            stats = _evaluate_b1v(bound)
+            series.append((stats.joins, stats.union_cardinality_sum))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    joins = np.array([j for j, _ in series], dtype=float)
+    sums = np.array([s for _, s in series], dtype=float)
+
+    print("\nFigure 10 series (bound, joins, sum of union cardinalities):")
+    for bound, (j, s) in enumerate(series, start=1):
+        print(f"  k={bound:<3} joins={j:<8} sum={s}")
+
+    # Quadratic fit, as in the paper's y = ax^2 + bx + c.
+    coeffs = np.polyfit(joins, sums, deg=2)
+    fitted = np.polyval(coeffs, joins)
+    ss_res = float(np.sum((sums - fitted) ** 2))
+    ss_tot = float(np.sum((sums - np.mean(sums)) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot
+    print(f"  fit: y = {coeffs[0]:.4g}x^2 + {coeffs[1]:.4g}x + {coeffs[2]:.4g}"
+          f"   R^2 = {r_squared:.4f}"
+          "   (paper: y = 3.122e-5x^2 + 1.2253x - 494.2, R^2 = 0.9993)")
+
+    # The paper's claims: growth is monotone, and a quadratic fits nearly
+    # perfectly — i.e. far from the exponential path count 2^joins.
+    assert all(sums[i] < sums[i + 1] for i in range(len(sums) - 1))
+    assert r_squared > 0.99
+    # Sub-exponential: sum grows by a bounded factor per bound increment.
+    ratios = sums[1:] / sums[:-1]
+    assert max(ratios[2:]) < 3.0

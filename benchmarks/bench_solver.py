@@ -1,0 +1,72 @@
+"""Microbenchmarks for the solver substrate itself.
+
+Not a paper artifact — but the paper's Z3 column implicitly benchmarks its
+backend, and ours is home-grown, so its scaling behaviour is worth pinning:
+
+- unit-propagation throughput on long implication chains;
+- CDCL on small pigeonhole instances (the classic resolution-hard family);
+- bit-blasting + solving a multiplier equation (the heaviest circuit the
+  SDSLs generate).
+"""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.solver.sat import SatResult, SatSolver
+
+
+def test_propagation_chain(benchmark):
+    """A 20k-variable implication chain solved by pure propagation."""
+    def run():
+        solver = SatSolver()
+        variables = [solver.new_var() for _ in range(20_000)]
+        for a, b in zip(variables, variables[1:]):
+            solver.add_clause([-a, b])
+        solver.add_clause([variables[0]])
+        assert solver.solve() is SatResult.SAT
+        return solver.num_propagations
+
+    propagations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert propagations >= 19_999
+
+
+@pytest.mark.parametrize("holes", [5, 6])
+def test_pigeonhole(benchmark, holes):
+    """PHP(n+1, n): UNSAT, exponential for resolution — a CDCL stress test."""
+    pigeons = holes + 1
+
+    def run():
+        solver = SatSolver()
+        var = {(p, h): solver.new_var()
+               for p in range(pigeons) for h in range(holes)}
+        for p in range(pigeons):
+            solver.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        return solver.solve()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is SatResult.UNSAT
+
+
+def test_multiplier_inversion(benchmark):
+    """Factor 143 = 11 × 13 with an 8-bit multiplier circuit."""
+    def run():
+        x = T.bv_var("factor_x", 8)
+        y = T.bv_var("factor_y", 8)
+        solver = SmtSolver()
+        solver.add_assertion(T.mk_eq(T.mk_mul(x, y), T.bv_const(143, 8)))
+        solver.add_assertion(T.mk_ult(T.bv_const(1, 8), x))
+        solver.add_assertion(T.mk_ult(T.bv_const(1, 8), y))
+        # Keep the product below 2^8 so the equation is non-modular.
+        solver.add_assertion(T.mk_ult(x, T.bv_const(16, 8)))
+        solver.add_assertion(T.mk_ult(y, T.bv_const(16, 8)))
+        assert solver.check() is SmtResult.SAT
+        model = solver.model([x, y])
+        return model[x] * model[y]
+
+    product = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert product == 143

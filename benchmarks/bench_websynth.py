@@ -1,0 +1,54 @@
+"""Table 2 (WEBSYNTH query bounds) and the WEBSYNTH rows of Table 4.
+
+Each benchmark synthesizes an XPath for a synthetic page shaped like the
+paper's three sites (iTunes / IMDb / AlAnon), from four examples each.
+The defining Table 4 signature for these rows — large join counts, zero
+unions, and sub-second solving — is asserted.
+
+The default scale generates pages ~10–15% of the paper's node counts so
+the suite stays fast; REPRO_BENCH_FULL=1 uses the paper's full shapes
+(1104–2152 nodes, depth 10–22, 150–359 tokens).
+"""
+
+import pytest
+
+from repro.sym import set_default_int_width
+from repro.sdsl.websynth import (
+    SITE_SPECS,
+    concrete_matches,
+    generate_site,
+    synthesize_xpath,
+    tree_depth,
+    tree_size,
+)
+from repro.sdsl.websynth.xpath import token_vocabulary
+
+from conftest import FULL
+
+SCALE = 1.0 if FULL else 0.12
+
+
+@pytest.mark.parametrize("spec", SITE_SPECS, ids=[s.name for s in SITE_SPECS])
+def test_websynth_synthesis(benchmark, spec):
+    set_default_int_width(16)
+    root, truth, examples = generate_site(spec, scale=SCALE)
+
+    def run():
+        return synthesize_xpath(root, examples)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.stats
+    print(f"\nTable 2 row: {spec.name:8s} nodes={tree_size(root):<6} "
+          f"depth={tree_depth(root):<3} "
+          f"tokens={len(token_vocabulary(root)):<4} "
+          f"(paper: {spec.paper_nodes}/{spec.paper_depth}/{spec.paper_tokens})")
+    print(f"Table 4 row: {spec.name}s joins={stats.joins:<8} "
+          f"count={stats.unions_created:<4} sum={stats.union_cardinality_sum:<4} "
+          f"SVM={stats.svm_seconds:6.2f}s solver={stats.solver_seconds:6.2f}s "
+          f"-> {result.status}")
+    assert result.status == "sat"
+    # The paper's shape: many joins, ZERO unions, trivial solving time.
+    assert stats.joins > 0
+    assert stats.unions_created == 0
+    got = concrete_matches(root, result.xpath)
+    assert all(example in got for example in examples)

@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the paper-style row(s) it regenerates (run pytest
+with ``-s`` to see them inline; they are also summarized by
+pytest-benchmark's own table). Expensive IFCL/deep-bound rows are included
+only when ``REPRO_BENCH_FULL=1`` so that the default
+``pytest benchmarks/ --benchmark-only`` completes on a laptop.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def full_only(reason="set REPRO_BENCH_FULL=1 to include this row"):
+    return pytest.mark.skipif(not FULL, reason=reason)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_names():
+    from repro.sym.fresh import reset_fresh_names
+    from repro.sym.values import UNION_COUNTERS
+    reset_fresh_names()
+    UNION_COUNTERS.reset()
+    yield

@@ -1,0 +1,147 @@
+"""The §2 story end to end: a solver-aided automata SDSL in HL.
+
+This example reproduces, in order, every interaction of the paper's
+Section 2 using the HL host language (s-expressions + syntax-rules):
+
+1. the ``automaton`` macro (Figure 2) and concrete execution of the
+   c(ad)*r recognizer (Figure 1);
+2. **angelic execution** — running the automaton "in reverse" to find an
+   accepted word;
+3. **debugging** — the buggy Figure 2 automaton accepts the empty word;
+   the debug query localizes a minimal core;
+4. **verification** — checking the fixed automaton against Racket-style
+   regexp matching (lifted by symbolic reflection, §2.3);
+5. **synthesis** — completing the Figure 3 sketch of a c(ad)+r automaton
+   with ``choose`` holes.
+
+Run: ``python examples/automata_dsl.py``
+"""
+
+from repro.lang import Interpreter
+from repro.vm.context import VM
+
+PRELUDE = """
+(define-syntax automaton
+  (syntax-rules (: ->)
+    [(_ init-state [state : (label -> target) ...] ...)
+     (letrec ([state
+               (lambda (stream)
+                 (cond
+                   [(empty? stream) (empty? '(label ...))]
+                   [else
+                    (case (first stream)
+                      [(label) (target (rest stream))] ...
+                      [else false])]))] ...)
+       init-state)]))
+
+;; Symbolic words (the paper's word / word* generators).
+(define (word k alphabet)
+  (build-list k (lambda (i)
+    (begin (define-symbolic* idx number?)
+           (list-ref alphabet idx)))))
+(define (word* k alphabet)
+  (begin (define-symbolic* n number?)
+         (take (word k alphabet) n)))
+
+;; The spec: Racket's regexp matcher, lifted by symbolic reflection.
+(define (word->string w)
+  (apply string-append (map symbol->string w)))
+(define (spec regex w)
+  (regexp-match? regex (word->string w)))
+"""
+
+FIXED_AUTOMATON = """
+(define m (automaton init
+  [init : (c -> more)]
+  [more : (a -> more) (d -> more) (r -> end)]
+  [end : ]))
+"""
+
+BUGGY_AUTOMATON = """
+;; Figure 2 as published: every state accepts the empty word (the bug).
+(define-syntax automaton-buggy
+  (syntax-rules (: ->)
+    [(_ init-state [state : (label -> target) ...] ...)
+     (letrec ([state
+               (lambda (stream)
+                 (cond
+                   [(empty? stream) true]
+                   [else
+                    (case (first stream)
+                      [(label) (target (rest stream))] ...
+                      [else false])]))] ...)
+       init-state)]))
+(define mb (automaton-buggy init
+  [init : (c -> more)]
+  [more : (a -> more) (d -> more) (r -> end)]
+  [end : ]))
+"""
+
+SKETCH = """
+(define reject (lambda (stream) false))
+(define M (automaton init
+  [init : (c -> (choose s1 s2))]
+  [s1 : (a -> (choose s1 s2 end reject))
+        (d -> (choose s1 s2 end reject))
+        (r -> (choose s1 s2 end reject))]
+  [s2 : (a -> (choose s1 s2 end reject))
+        (d -> (choose s1 s2 end reject))
+        (r -> (choose s1 s2 end reject))]
+  [end : ]))
+"""
+
+
+def main() -> None:
+    interp = Interpreter(int_width=8)
+    with VM():
+        interp.run(PRELUDE + FIXED_AUTOMATON + BUGGY_AUTOMATON + SKETCH)
+
+        print("== concrete execution ==")
+        print("  (m '(c a d a d d r)) =", interp.run("(m '(c a d a d d r))")[0])
+        print("  (m '(c a d a d d r r)) =",
+              interp.run("(m '(c a d a d d r r))")[0])
+
+        print("\n== angelic execution: a word accepted by m ==")
+        word = interp.run("""
+            (define w (word* 4 '(c a d r)))
+            (define model (solve (assert (m w))))
+            (evaluate w model)
+        """)[-1]
+        print("  found:", "".join(word) or "(empty)")
+
+        print("\n== debugging the buggy automaton (accepts '()) ==")
+        core = interp.run(
+            "(debug [boolean?] (assert (not (mb '()))))")[0]
+        print("  minimal core of", len(core), "expression(s):")
+        for label in core:
+            print("   ", label)
+
+        print("\n== verification against the regexp spec ==")
+        result = interp.run("""
+            (define wv (word* 4 '(c a d r)))
+            (verify (assert (equal? (spec "^c[ad]*r$" wv) (m wv))))
+        """)[-1]
+        print("  fixed m:", "no counterexample found" if result is False
+              else f"counterexample: {result}")
+        cex = interp.run("""
+            (define wb (word* 4 '(c a d r)))
+            (define bad (verify (assert (equal? (spec "^c[ad]*r$" wb) (mb wb)))))
+            (evaluate wb bad)
+        """)[-1]
+        print("  buggy mb: counterexample word:", "".join(cex) or "(empty)")
+
+        print("\n== synthesis: completing the c(ad)+r sketch ==")
+        forms = interp.run("""
+            (define ws (word* 4 '(c a d r)))
+            (define sm (synthesize [ws]
+              (assert (equal? (spec "^c[ad]+r$" ws) (M ws)))))
+            (generate-forms sm)
+        """)[-1]
+        from repro.lang.reader import write_form
+        print("  solved", len(forms), "choose holes:")
+        for site, chosen in forms[:6]:
+            print(f"    {write_form(site)} -> {write_form(chosen)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""IFCL walkthrough: verifying non-interference of IFC stack machines.
+
+Reproduces §5.1's IFCL case study: the bounded EENI verifier searches for
+two indistinguishable instruction sequences (secrets may differ in
+high-labeled immediates) that both halt yet leave distinguishable
+memories. The correct machine is proven secure up to the bound; each buggy
+variant yields a synthesized *attack program*.
+
+Run: ``python examples/ifcl_attacks.py``
+"""
+
+from repro import set_default_int_width
+from repro.sdsl.ifcl import (
+    BUGGY_MACHINES,
+    CORRECT_MACHINES,
+    check_attack,
+    eeni_check,
+)
+
+
+def main() -> None:
+    set_default_int_width(5)  # the paper's 5-bit number representation
+
+    print("== the correct basic machine is secure (bounded EENI) ==")
+    for bound in (2, 3):
+        result = eeni_check(CORRECT_MACHINES["basic"], bound)
+        print(f"  bound {bound}: {result.status} "
+              f"(joins={result.stats.joins}, "
+              f"union-sum={result.stats.union_cardinality_sum})")
+
+    print("\n== buggy machines: synthesized attacks, replayed concretely ==")
+    demos = [
+        ("B2", 3, "Push drops the secrecy label of immediates"),
+        ("B4", 3, "Store misses the no-sensitive-upgrade check"),
+        ("B1", 5, "Add forgets to join operand labels"),
+    ]
+    for name, bound, description in demos:
+        result = eeni_check(BUGGY_MACHINES[name], bound)
+        print(f"\n  {name}: {description}")
+        print(f"    verdict at bound {bound}: {result.status}")
+        if result.counterexample:
+            print("    attack (mnemonic valueA|valueB@label):")
+            for line in result.counterexample:
+                print("      ", line)
+        # Close the loop: replay the synthesized attack with the plain
+        # concrete semantics and show the observable difference.
+        replay = check_attack(BUGGY_MACHINES[name], bound)
+        if replay is not None:
+            print("    concrete replay:")
+            for line in replay.render().splitlines():
+                print("      ", line)
+
+
+if __name__ == "__main__":
+    main()

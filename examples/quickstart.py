@@ -1,0 +1,94 @@
+"""Quickstart: the paper's running example (Figures 5 and 6).
+
+``rev_pos`` reverses a list keeping only its positive elements. We run it
+on symbolic inputs under the SVM and use the solver-aided queries:
+
+- ``solve``  — find an input on which the output has the same length
+  (angelic execution: only the all-positive input works);
+- ``verify`` — prove the output is never longer than the input;
+- ``debug``-style introspection — inspect the symbolic union that the
+  type-driven merge builds for ``ps`` (the Figure 6 state).
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    Union,
+    assert_,
+    branch,
+    builtins as B,
+    fresh_int,
+    set_default_int_width,
+    solve,
+    union_contents,
+    verify,
+)
+from repro.sym import ops
+
+
+def rev_pos(xs):
+    """Figure 5a, written against the SVM's lifted `branch` and `cons`."""
+    ps = ()
+    for x in xs:
+        ps = branch(x > 0,
+                    lambda x=x, ps=ps: B.cons(x, ps),
+                    lambda ps=ps: ps)
+    return ps
+
+
+def main() -> None:
+    set_default_int_width(8)
+
+    # --- The symbolic union of Figure 6 --------------------------------
+    print("== the merged state of ps (Figure 6) ==")
+    from repro.vm.context import VM
+    with VM():
+        xs = (fresh_int("x"), fresh_int("x"))
+        ps = rev_pos(xs)
+        assert isinstance(ps, Union)
+        for guard, value in union_contents(ps):
+            print(f"  [{guard!r:60}] {value!r}")
+
+    # --- Angelic execution ---------------------------------------------
+    print("\n== solve: find xs with |revPos(xs)| = |xs| ==")
+    holder = {}
+
+    def program():
+        xs = (fresh_int("x"), fresh_int("x"))
+        holder["xs"] = xs
+        ps = rev_pos(xs)
+        assert_(B.equal(B.length(ps), len(xs)))
+
+    outcome = solve(program)
+    print("  status:", outcome.status)
+    values = [outcome.model.evaluate(x) for x in holder["xs"]]
+    print("  witness:", values, "(all positive, as expected)")
+    print("  stats:", outcome.stats.row())
+
+    # --- Verification ---------------------------------------------------
+    print("\n== verify: |revPos(xs)| <= |xs| for all xs ==")
+
+    def prop():
+        xs = tuple(fresh_int("x") for _ in range(3))
+        assert_(ops.le(B.length(rev_pos(xs)), len(xs)))
+
+    outcome = verify(prop)
+    print("  status:", outcome.status,
+          "(unsat = no counterexample found)")
+
+    # --- A failing property gives a counterexample ----------------------
+    print("\n== verify a wrong property: |revPos(xs)| = |xs| always ==")
+
+    def bad_prop():
+        xs = (fresh_int("x"), fresh_int("x"))
+        holder["xs"] = xs
+        assert_(B.equal(B.length(rev_pos(xs)), len(xs)))
+
+    outcome = verify(bad_prop)
+    print("  status:", outcome.status)
+    values = [outcome.model.evaluate(x) for x in holder["xs"]]
+    print("  counterexample:", values, "(some non-positive element)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` in offline environments without
+the `wheel` package (legacy setup.py develop path)."""
+from setuptools import setup
+
+setup()

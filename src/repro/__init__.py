@@ -1,0 +1,85 @@
+"""repro — a lightweight symbolic virtual machine for solver-aided host languages.
+
+A from-scratch Python reproduction of Torlak & Bodik, PLDI 2014 (the
+ROSETTE SVM paper). The package stack, bottom to top:
+
+- :mod:`repro.solver` — CDCL SAT solver with assumptions and unsat cores;
+- :mod:`repro.smt` — hash-consed boolean/bitvector terms, bit-blasting;
+- :mod:`repro.sym` — symbolic values, symbolic unions, type-driven merging;
+- :mod:`repro.vm` — the SVM: path conditions, assertion store, lifted
+  builtins, symbolic reflection;
+- :mod:`repro.queries` — solve / verify / synthesize / debug;
+- :mod:`repro.lang` — the HL host language (s-expressions + syntax-rules
+  macros) interpreted on the SVM;
+- :mod:`repro.baselines` — classic symbolic execution and BMC-style
+  merging, for comparison;
+- :mod:`repro.sdsl` — the case-study SDSLs: SynthCL, WebSynth, IFCL, and
+  the §2 automata language.
+
+Quickstart (the paper's running example)::
+
+    from repro import *
+
+    set_default_int_width(8)
+
+    def rev_pos(xs):
+        ps = ()
+        for x in xs:
+            ps = branch(x > 0, lambda: builtins.cons(x, ps), lambda: ps)
+        return ps
+
+    def program():
+        xs = (fresh_int("x"), fresh_int("x"))
+        ps = rev_pos(xs)
+        assert_(builtins.equal(builtins.length(ps), len(xs)))
+        return xs
+
+    outcome = solve(program)
+    assert outcome.status == "sat"
+"""
+
+from repro.sym import (
+    Box,
+    FreshStream,
+    SymBool,
+    SymInt,
+    Union,
+    default_int_width,
+    fresh_bool,
+    fresh_int,
+    merge,
+    merge_many,
+    reset_fresh_names,
+    set_default_int_width,
+)
+from repro.vm import (
+    VM,
+    AssertionFailure,
+    Vector,
+    assert_,
+    box_get,
+    box_set,
+    branch,
+    builtins,
+    current,
+    for_all,
+    lift,
+    make_box,
+    union_contents,
+    union_size,
+)
+from repro.queries import Model, QueryOutcome, debug, relax, solve, synthesize, verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box", "FreshStream", "SymBool", "SymInt", "Union",
+    "default_int_width", "fresh_bool", "fresh_int", "merge", "merge_many",
+    "reset_fresh_names", "set_default_int_width",
+    "VM", "AssertionFailure", "Vector", "assert_", "box_get", "box_set",
+    "branch", "builtins", "current", "for_all", "lift", "make_box",
+    "union_contents", "union_size",
+    "Model", "QueryOutcome", "debug", "relax", "solve", "synthesize",
+    "verify",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""Classic path-by-path symbolic execution (§3.2).
+
+The executor runs the *same* thunks as the SVM, but its ``guarded``
+override explores one alternative per execution, re-running the thunk with
+a recorded decision script and backtracking depth-first — the standard
+execution-tree search of Figure 5(b). There is no state merging: program
+state stays maximally concrete along each path, and each completed path
+yields its own path condition and assertion set, checked with a separate
+solver call.
+
+On programs with `n` independent symbolic branches this visits up to 2^n
+paths; the benchmarks use it to demonstrate the exponential/polynomial
+separation that motivates the SVM (§4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym.values import bool_term
+from repro.vm.context import VM
+from repro.vm.errors import AssertionFailure
+
+
+@dataclass
+class PathResult:
+    """One completed execution path."""
+
+    condition: T.Term
+    assertions: List[T.Term]
+    value: object
+    failed: bool
+    decisions: Tuple[bool, ...]
+
+
+class _Backtrack(Exception):
+    """Raised internally when a path script turns out infeasible."""
+
+
+class _PathVM(VM):
+    """A VM that follows a decision script instead of merging."""
+
+    def __init__(self, script: List[bool]):
+        super().__init__()
+        self.script = script
+        self.taken: List[bool] = []
+
+    def guarded(self, alternatives, assert_coverage: bool = False,
+                failure_message: str = "all guarded paths failed",
+                count_join: bool = True):
+        concrete = [(guard if isinstance(guard, T.Term) else bool_term(guard),
+                     thunk) for guard, thunk in alternatives]
+        feasible = [(g, t) for g, t in concrete
+                    if T.mk_and(self.path, g) is not T.FALSE]
+        if not feasible:
+            raise AssertionFailure(failure_message)
+        if len(feasible) == 1:
+            guard, thunk = feasible[0]
+            self.path = T.mk_and(self.path, guard)
+            return thunk()
+        # A decision point: binary-split the alternatives per the script.
+        index = len(self.taken)
+        if index < len(self.script):
+            take_first = self.script[index]
+        else:
+            take_first = True
+            self.script.append(True)
+        self.taken.append(take_first)
+        if take_first:
+            guard, thunk = feasible[0]
+            self.path = T.mk_and(self.path, guard)
+            return thunk()
+        # Everything except the first alternative: recurse on the rest.
+        first_guard = feasible[0][0]
+        self.path = T.mk_and(self.path, T.mk_not(first_guard))
+        if len(feasible) == 2:
+            guard, thunk = feasible[1]
+            self.path = T.mk_and(self.path, guard)
+            return thunk()
+        return self.guarded(feasible[1:], assert_coverage=False,
+                            failure_message=failure_message,
+                            count_join=count_join)
+
+
+class SymbolicExecutor:
+    """Depth-first enumeration of a program's execution tree."""
+
+    def __init__(self, check_feasibility: bool = True,
+                 max_paths: Optional[int] = None):
+        self.check_feasibility = check_feasibility
+        self.max_paths = max_paths
+        self.paths_explored = 0
+        self.solver_calls = 0
+        self.solver_seconds = 0.0
+
+    def _feasible(self, condition: T.Term,
+                  extra: Sequence[T.Term] = ()) -> Tuple[bool, Optional[SmtSolver]]:
+        if condition is T.FALSE:
+            return False, None
+        solver = SmtSolver()
+        solver.add_assertion(condition)
+        for term in extra:
+            solver.add_assertion(term)
+        self.solver_calls += 1
+        started = time.perf_counter()
+        result = solver.check()
+        self.solver_seconds += time.perf_counter() - started
+        return result is SmtResult.SAT, solver
+
+    def explore(self, thunk: Callable[[], object]):
+        """Yield every execution path of `thunk`, depth first."""
+        script: List[bool] = []
+        while True:
+            if self.max_paths is not None and \
+                    self.paths_explored >= self.max_paths:
+                return
+            vm = _PathVM(list(script))
+            with vm:
+                failed = False
+                value = None
+                try:
+                    value = thunk()
+                except AssertionFailure:
+                    failed = True
+            self.paths_explored += 1
+            yield PathResult(condition=vm.path,
+                             assertions=list(vm.assertions),
+                             value=value, failed=failed,
+                             decisions=tuple(vm.taken))
+            # Backtrack: flip the deepest True decision to False.
+            script = list(vm.taken)
+            while script and not script[-1]:
+                script.pop()
+            if not script:
+                return
+            script[-1] = False
+
+    def solve(self, thunk: Callable[[], object]):
+        """Angelic execution: search the tree for a successful path.
+
+        Returns ``(model, path)`` for the first feasible path whose
+        assertions are all satisfiable (the solve query, answered the way
+        a symbolic-execution engine answers it), or ``None``.
+        """
+        for path in self.explore(thunk):
+            if path.failed:
+                continue
+            goal = [path.condition] + path.assertions
+            feasible, solver = self._feasible(T.mk_and(*goal))
+            if feasible:
+                return solver.model(), path
+        return None
+
+    def verify(self, thunk: Callable[[], object]):
+        """Search the tree for a path with a violated assertion."""
+        for path in self.explore(thunk):
+            if path.failed:
+                feasible, solver = self._feasible(path.condition)
+                if feasible:
+                    return solver.model(), path
+                continue
+            if not path.assertions:
+                continue
+            violated = T.mk_or(*[T.mk_not(a) for a in path.assertions])
+            feasible, solver = self._feasible(
+                T.mk_and(path.condition, violated))
+            if feasible:
+                return solver.model(), path
+        return None

@@ -1,0 +1,36 @@
+"""HL — the core solver-aided host language of §4.2 (Figs. 7 and 8).
+
+HL is core Scheme with mutation, extended with symbolic values, assertions
+and solver-aided queries, interpreted directly on the SVM. The layer also
+provides the metaprogramming facility the paper leans on for SDSL
+embedding: a ``syntax-rules`` pattern-macro expander with ellipsis
+patterns (§2.1), which is enough to host the automata SDSL of the paper's
+running example.
+
+Typical use::
+
+    from repro.lang import run_program
+
+    results = run_program('''
+        (define-symbolic x number?)
+        (assert (> x 3))
+        (solve (assert (< x 6)))
+    ''')
+"""
+
+from repro.lang.reader import ParseError, Symbol, read, read_all
+from repro.lang.expander import MacroError, MacroExpander
+from repro.lang.interp import (
+    Closure,
+    Interpreter,
+    LangError,
+    run_program,
+    run_program_with_stats,
+)
+
+__all__ = [
+    "ParseError", "Symbol", "read", "read_all",
+    "MacroError", "MacroExpander",
+    "Closure", "Interpreter", "LangError",
+    "run_program", "run_program_with_stats",
+]

@@ -1,0 +1,250 @@
+"""A ``syntax-rules`` pattern-macro expander with ellipsis patterns.
+
+This provides the metaprogramming facility that makes HL a *host* language
+(§2.1): SDSL designers define new syntactic forms by pattern matching, with
+``...`` indicating repetition, exactly as in the paper's ``automaton``
+macro. The expander is non-hygienic (a documented simplification — the
+case studies do not require hygiene), supports nested ellipses, pattern
+literals, and the ``_`` wildcard.
+
+Grammar handled::
+
+    (define-syntax name
+      (syntax-rules (literal ...)
+        [pattern template] ...))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.lang.reader import Symbol
+
+ELLIPSIS = Symbol("...")
+WILDCARD = Symbol("_")
+QUOTE = Symbol("quote")
+DEFINE_SYNTAX = Symbol("define-syntax")
+SYNTAX_RULES = Symbol("syntax-rules")
+
+
+class MacroError(ValueError):
+    """A malformed macro definition or a use no rule matches."""
+
+
+class Repeated:
+    """The value of a pattern variable under an ellipsis: one match per
+    repetition (possibly nested for nested ellipses)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: List):
+        self.items = items
+
+    def __repr__(self):
+        return f"Repeated({self.items!r})"
+
+
+class Rule:
+    """One [pattern template] pair of a syntax-rules form."""
+
+    def __init__(self, pattern, template, literals: Sequence[Symbol]):
+        self.pattern = pattern
+        self.template = template
+        self.literals = frozenset(literals)
+        self.variables = frozenset(self._pattern_vars(pattern))
+
+    def _pattern_vars(self, pattern) -> List[Symbol]:
+        if isinstance(pattern, Symbol):
+            if pattern in self.literals or pattern in (ELLIPSIS, WILDCARD):
+                return []
+            return [pattern]
+        if isinstance(pattern, list):
+            out: List[Symbol] = []
+            for item in pattern:
+                out.extend(self._pattern_vars(item))
+            return out
+        return []
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def match(self, form) -> Optional[Dict[Symbol, object]]:
+        bindings: Dict[Symbol, object] = {}
+        if self._match(self.pattern, form, bindings):
+            return bindings
+        return None
+
+    def _match(self, pattern, form, bindings) -> bool:
+        if isinstance(pattern, Symbol):
+            if pattern == WILDCARD:
+                return True
+            if pattern in self.literals:
+                return isinstance(form, Symbol) and form == pattern
+            bindings[pattern] = form
+            return True
+        if isinstance(pattern, list):
+            if not isinstance(form, list):
+                return False
+            return self._match_list(pattern, form, bindings)
+        # A datum pattern: numbers, booleans, strings.
+        return type(pattern) is type(form) and pattern == form
+
+    def _match_list(self, patterns: list, forms: list, bindings) -> bool:
+        ellipsis_at = None
+        for index, item in enumerate(patterns):
+            if isinstance(item, Symbol) and item == ELLIPSIS:
+                if index == 0:
+                    raise MacroError("'...' cannot start a pattern")
+                if ellipsis_at is not None:
+                    raise MacroError(
+                        "at most one '...' per pattern level is supported")
+                ellipsis_at = index
+        if ellipsis_at is None:
+            if len(patterns) != len(forms):
+                return False
+            return all(self._match(p, f, bindings)
+                       for p, f in zip(patterns, forms))
+        repeated_pattern = patterns[ellipsis_at - 1]
+        before = patterns[:ellipsis_at - 1]
+        after = patterns[ellipsis_at + 1:]
+        if len(forms) < len(before) + len(after):
+            return False
+        head = forms[:len(before)]
+        tail = forms[len(forms) - len(after):] if after else []
+        middle = forms[len(before):len(forms) - len(after)]
+        for p, f in zip(before, head):
+            if not self._match(p, f, bindings):
+                return False
+        for p, f in zip(after, tail):
+            if not self._match(p, f, bindings):
+                return False
+        # Match each repetition independently and transpose the bindings.
+        repetition_vars = self._pattern_vars(repeated_pattern)
+        collected: Dict[Symbol, List] = {var: [] for var in repetition_vars}
+        for f in middle:
+            sub: Dict[Symbol, object] = {}
+            if not self._match(repeated_pattern, f, sub):
+                return False
+            for var in repetition_vars:
+                collected[var].append(sub.get(var))
+        for var, values in collected.items():
+            bindings[var] = Repeated(values)
+        return True
+
+    # ------------------------------------------------------------------
+    # Template instantiation
+    # ------------------------------------------------------------------
+
+    def instantiate(self, bindings: Dict[Symbol, object]):
+        return self._instantiate(self.template, bindings)
+
+    def _instantiate(self, template, bindings):
+        if isinstance(template, Symbol):
+            if template in bindings:
+                value = bindings[template]
+                if isinstance(value, Repeated):
+                    raise MacroError(
+                        f"pattern variable {template} used without '...'")
+                return value
+            return template
+        if not isinstance(template, list):
+            return template
+        out: List[object] = []
+        index = 0
+        while index < len(template):
+            item = template[index]
+            if index + 1 < len(template) and \
+                    isinstance(template[index + 1], Symbol) and \
+                    template[index + 1] == ELLIPSIS:
+                out.extend(self._expand_repetition(item, bindings))
+                index += 2
+            else:
+                out.append(self._instantiate(item, bindings))
+                index += 1
+        return out
+
+    def _expand_repetition(self, template, bindings) -> List:
+        repeated_vars = [var for var in self._template_vars(template)
+                         if isinstance(bindings.get(var), Repeated)]
+        if not repeated_vars:
+            raise MacroError(
+                f"'...' follows a template with no ellipsis variables: "
+                f"{template!r}")
+        lengths = {len(bindings[var].items) for var in repeated_vars}
+        if len(lengths) != 1:
+            raise MacroError(
+                f"mismatched repetition counts for {repeated_vars}")
+        count = lengths.pop()
+        expansions = []
+        for i in range(count):
+            inner = dict(bindings)
+            for var in repeated_vars:
+                inner[var] = bindings[var].items[i]
+            expansions.append(self._instantiate(template, inner))
+        return expansions
+
+    def _template_vars(self, template) -> List[Symbol]:
+        if isinstance(template, Symbol):
+            return [template] if template in self.variables else []
+        if isinstance(template, list):
+            out: List[Symbol] = []
+            for item in template:
+                out.extend(self._template_vars(item))
+            return out
+        return []
+
+
+class MacroExpander:
+    """Registers define-syntax forms and expands macro uses to fixpoint."""
+
+    MAX_EXPANSIONS = 10_000
+
+    def __init__(self):
+        self.macros: Dict[Symbol, List[Rule]] = {}
+
+    def define(self, form) -> None:
+        """Register a ``(define-syntax name (syntax-rules ...))`` form."""
+        if len(form) != 3 or not isinstance(form[1], Symbol):
+            raise MacroError(f"malformed define-syntax: {form!r}")
+        name, spec = form[1], form[2]
+        if not (isinstance(spec, list) and spec and
+                isinstance(spec[0], Symbol) and spec[0] == SYNTAX_RULES):
+            raise MacroError("define-syntax requires a syntax-rules form")
+        if len(spec) < 2 or not isinstance(spec[1], list):
+            raise MacroError("syntax-rules requires a literals list")
+        literals = [lit for lit in spec[1] if isinstance(lit, Symbol)]
+        rules = []
+        for clause in spec[2:]:
+            if not (isinstance(clause, list) and len(clause) == 2):
+                raise MacroError(f"malformed syntax-rules clause: {clause!r}")
+            rules.append(Rule(clause[0], clause[1], literals))
+        self.macros[name] = rules
+
+    def expand(self, form, budget: Optional[List[int]] = None):
+        """Fully expand all macro uses in `form`."""
+        if budget is None:
+            budget = [self.MAX_EXPANSIONS]
+        while isinstance(form, list) and form and \
+                isinstance(form[0], Symbol) and form[0] in self.macros:
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise MacroError("macro expansion did not terminate")
+            form = self._expand_once(form)
+        if not isinstance(form, list) or not form:
+            return form
+        head = form[0]
+        if isinstance(head, Symbol) and head == QUOTE:
+            return form
+        if isinstance(head, Symbol) and head == DEFINE_SYNTAX:
+            self.define(form)
+            return None  # definition consumed; nothing left to evaluate
+        return [self.expand(item, budget) for item in form]
+
+    def _expand_once(self, form):
+        name = form[0]
+        for rule in self.macros[name]:
+            bindings = rule.match(form)
+            if bindings is not None:
+                return rule.instantiate(bindings)
+        raise MacroError(f"no syntax-rules pattern matches {form!r}")

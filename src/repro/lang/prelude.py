@@ -1,0 +1,99 @@
+"""The HL standard prelude, written in HL itself.
+
+Everything here is defined *in the host language* on top of the lifted
+core builtins — the same way Rosette's library grows out of its lifted
+kernel. Because the definitions only use lifted operations and `if`, they
+are automatically correct on symbolic values and unions; no Python code
+needs to know about them.
+
+The prelude is loaded into every :class:`repro.lang.interp.Interpreter`
+unless it is constructed with ``prelude=False``.
+"""
+
+PRELUDE_SOURCE = """
+;; --- pair/list accessors -------------------------------------------------
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cddr p)))
+
+;; --- list utilities -------------------------------------------------------
+(define (list-tail lst k)
+  (if (= k 0) lst (list-tail (cdr lst) (- k 1))))
+
+(define (member x lst)
+  (cond [(null? lst) #f]
+        [(equal? x (car lst)) lst]
+        [else (member x (cdr lst))]))
+
+(define (assoc key pairs)
+  (cond [(null? pairs) #f]
+        [(equal? key (caar pairs)) (car pairs)]
+        [else (assoc key (cdr pairs))]))
+
+(define (andmap proc lst)
+  (cond [(null? lst) #t]
+        [(null? (cdr lst)) (proc (car lst))]
+        [else (and (proc (car lst)) (andmap proc (cdr lst)))]))
+
+(define (ormap proc lst)
+  (cond [(null? lst) #f]
+        [else (or (proc (car lst)) (ormap proc (cdr lst)))]))
+
+(define (remove x lst)
+  (cond [(null? lst) lst]
+        [(equal? x (car lst)) (cdr lst)]
+        [else (cons (car lst) (remove x (cdr lst)))]))
+
+(define (count proc lst)
+  (foldl (lambda (el acc) (if (proc el) (+ acc 1) acc)) 0 lst))
+
+(define (append-map proc lst)
+  (foldl (lambda (el acc) (append acc (proc el))) null lst))
+
+(define (index-of lst x)
+  (let loop ([rest lst] [i 0])
+    (cond [(null? rest) #f]
+          [(equal? (car rest) x) i]
+          [else (loop (cdr rest) (+ i 1))])))
+
+(define (flatten v)
+  (cond [(null? v) null]
+        [(list? v) (append (flatten (car v)) (flatten (cdr v)))]
+        [else (list v)]))
+
+(define (sum lst) (foldl + 0 lst))
+
+(define (iota n) (range n))
+
+;; --- higher-order helpers -------------------------------------------------
+(define (compose f g) (lambda (x) (f (g x))))
+(define (const c) (lambda args c))
+(define (identity x) x)
+(define (curry2 f a) (lambda (b) (f a b)))
+
+;; --- numeric helpers --------------------------------------------------------
+(define (clamp lo hi v) (min hi (max lo v)))
+(define (between? lo hi v) (and (<= lo v) (<= v hi)))
+(define (sgn v) (cond [(< v 0) -1] [(> v 0) 1] [else 0]))
+
+;; --- comprehension sugar ----------------------------------------------------
+;; (for/list ([x seq]) body ...): seq may be a list or a concrete count,
+;; as in Racket's (for/list ([i k]) ...) over an integer range. This is
+;; the form the paper's `word` generator uses (§2.2).
+(define (in-sequence seq) (if (number? seq) (range seq) seq))
+(define-syntax for/list
+  (syntax-rules ()
+    [(_ ([x seq]) body ...)
+     (map (lambda (x) body ...) (in-sequence seq))]))
+
+;; (for/and ([x seq]) body) and (for/or ([x seq]) body).
+(define-syntax for/and
+  (syntax-rules ()
+    [(_ ([x seq]) body ...)
+     (andmap (lambda (x) body ...) (in-sequence seq))]))
+(define-syntax for/or
+  (syntax-rules ()
+    [(_ ([x seq]) body ...)
+     (ormap (lambda (x) body ...) (in-sequence seq))]))
+"""

@@ -1,0 +1,312 @@
+"""HL builtin procedures (the right column of Figure 7, and then some).
+
+Each builtin is a Python callable over SVM values. List/arithmetic builtins
+delegate to the lifted library in :mod:`repro.vm.builtins` and
+:mod:`repro.sym.ops`; string and regexp operations — which the SVM does not
+lift — are wrapped with symbolic reflection (:func:`~repro.vm.builtins.union_apply`),
+exactly the way §2.3 lifts Racket's ``regexp-match?``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+from repro.lang.reader import Symbol
+from repro.queries.outcome import Model
+from repro.sym import ops
+from repro.sym.values import Box, SymInt
+from repro.vm import builtins as B
+from repro.vm import context
+from repro.vm.errors import AssertionFailure, TypeFailure
+from repro.vm.mutable import Vector, box_get, box_set
+from repro.vm.reflection import union_contents, union_size
+
+
+def _fold(fn: Callable, values, unit):
+    if not values:
+        return unit
+    result = values[0]
+    for value in values[1:]:
+        result = fn(result, value)
+    return result
+
+
+def _chain(compare: Callable, values):
+    if len(values) < 2:
+        raise TypeFailure("comparison needs at least two arguments")
+    result = True
+    for left, right in zip(values, values[1:]):
+        result = ops.and_(result, compare(left, right))
+    return result
+
+
+def _num_sub(*values):
+    if not values:
+        raise TypeFailure("- needs at least one argument")
+    if len(values) == 1:
+        return ops.neg(values[0])
+    return _fold(ops.sub, list(values), 0)
+
+
+def _expect_string(value) -> str:
+    if isinstance(value, str) and not isinstance(value, bool):
+        return value
+    raise TypeFailure(f"expected a string, got {value!r}")
+
+
+def _string_append(*parts):
+    def concatenate(*concrete):
+        return "".join(_expect_string(part) for part in concrete)
+    return B.union_apply(concatenate, *parts)
+
+
+def _symbol_to_string(value):
+    def convert(v):
+        if isinstance(v, Symbol):
+            return str(v)
+        raise TypeFailure(f"expected a symbol, got {v!r}")
+    return B.union_apply(convert, value)
+
+
+def _string_to_symbol(value):
+    return B.union_apply(lambda v: Symbol(_expect_string(v)), value)
+
+
+def _regexp_match(pattern, string):
+    """(regexp-match? rx str) — lifted via symbolic reflection (§2.3)."""
+    def match(pattern, string):
+        return re.search(_expect_string(pattern),
+                         _expect_string(string)) is not None
+    return B.union_apply(match, pattern, string)
+
+
+def _number_to_string(value):
+    def convert(v):
+        if isinstance(v, SymInt):
+            raise TypeFailure("number->string needs a concrete number")
+        return str(v)
+    return B.union_apply(convert, value)
+
+
+def _evaluate(value, model):
+    if not isinstance(model, Model):
+        raise TypeFailure("evaluate needs a model (from solve/verify/...)")
+    return model.evaluate(value)
+
+
+def _range(*args):
+    if len(args) == 1:
+        start, stop = 0, args[0]
+    elif len(args) == 2:
+        start, stop = args
+    else:
+        raise TypeFailure("range takes one or two concrete integers")
+    if isinstance(start, SymInt) or isinstance(stop, SymInt):
+        raise TypeFailure("range bounds must be concrete")
+    return tuple(range(start, stop))
+
+
+def _build_list(count, proc):
+    if isinstance(count, SymInt):
+        raise TypeFailure("build-list count must be concrete")
+    return tuple(B.apply_value(proc, index) for index in range(count))
+
+
+def _list_filter(proc, lst):
+    def run(concrete):
+        kept: object = ()
+        for element in reversed(concrete):
+            keep = B.apply_value(proc, element)
+            kept = context.current().branch(
+                keep,
+                lambda element=element, kept=kept: B.cons(element, kept),
+                lambda kept=kept: kept)
+        return kept
+    return B.union_apply(lambda l: run(l if isinstance(l, tuple)
+                                       else _bad_list(l)), lst)
+
+
+def _bad_list(value):
+    raise TypeFailure(f"expected a list, got {value!r}")
+
+
+def _error(*parts):
+    raise AssertionFailure(
+        " ".join(str(part) for part in parts) or "error")
+
+
+def _display(*parts):
+    print(*parts, sep="", end="")
+
+
+def _println(*parts):
+    print(*parts, sep="")
+
+
+def _vector_ref(vector, index):
+    def run(vector, index):
+        if not isinstance(vector, Vector):
+            raise TypeFailure(f"expected a vector, got {vector!r}")
+        return vector.ref(index)
+    return B.union_apply(run, vector, index)
+
+
+def _vector_set(vector, index, value):
+    def run(vector, index):
+        if not isinstance(vector, Vector):
+            raise TypeFailure(f"expected a vector, got {vector!r}")
+        vector.set(index, value)
+    return B.union_apply(run, vector, index)
+
+
+def _vector_length(vector):
+    def run(vector):
+        if not isinstance(vector, Vector):
+            raise TypeFailure(f"expected a vector, got {vector!r}")
+        return len(vector)
+    return B.union_apply(run, vector)
+
+
+def _make_vector(length, fill=0):
+    if isinstance(length, SymInt):
+        raise TypeFailure("make-vector length must be concrete")
+    return Vector([fill] * length)
+
+
+def _unbox(box):
+    def run(box):
+        if not isinstance(box, Box):
+            raise TypeFailure(f"expected a box, got {box!r}")
+        return box_get(box)
+    return B.union_apply(run, box)
+
+
+def _set_box(box, value):
+    def run(box):
+        if not isinstance(box, Box):
+            raise TypeFailure(f"expected a box, got {box!r}")
+        box_set(box, value)
+    return B.union_apply(run, box)
+
+
+def _union_contents_value(value):
+    return tuple((guard, member) for guard, member in union_contents(value))
+
+
+def make_builtins(interp) -> Dict[str, object]:
+    """The initial global environment of an :class:`Interpreter`."""
+    env: Dict[str, object] = {
+        # Arithmetic.
+        "+": lambda *vs: _fold(ops.add, list(vs), 0),
+        "-": _num_sub,
+        "*": lambda *vs: _fold(ops.mul, list(vs), 1),
+        "quotient": ops.div,
+        "remainder": ops.rem,
+        "modulo": ops.modulo,
+        "abs": lambda v: context.current().branch(
+            ops.lt(v, 0), lambda: ops.neg(v), lambda: v),
+        "min": lambda a, b: context.current().branch(
+            ops.le(a, b), lambda: a, lambda: b),
+        "max": lambda a, b: context.current().branch(
+            ops.ge(a, b), lambda: a, lambda: b),
+        "add1": lambda v: ops.add(v, 1),
+        "sub1": lambda v: ops.sub(v, 1),
+        "bitwise-and": ops.bitand,
+        "bitwise-ior": ops.bitor,
+        "bitwise-xor": ops.bitxor,
+        "bitwise-not": ops.bitnot,
+        "arithmetic-shift-left": ops.shl,
+        "arithmetic-shift-right": ops.ashr,
+        # Comparison.
+        "=": lambda *vs: _chain(ops.num_eq, list(vs)),
+        "<": lambda *vs: _chain(ops.lt, list(vs)),
+        "<=": lambda *vs: _chain(ops.le, list(vs)),
+        ">": lambda *vs: _chain(ops.gt, list(vs)),
+        ">=": lambda *vs: _chain(ops.ge, list(vs)),
+        "zero?": lambda v: ops.num_eq(v, 0),
+        "positive?": lambda v: ops.gt(v, 0),
+        "negative?": lambda v: ops.lt(v, 0),
+        "even?": lambda v: ops.num_eq(ops.modulo(v, 2), 0),
+        "odd?": lambda v: ops.num_eq(ops.modulo(v, 2), 1),
+        # Booleans.
+        "not": lambda v: ops.not_(ops.truthy(v)),
+        "false?": lambda v: ops.not_(ops.truthy(v)),
+        # Lists (immutable; Fig. 7's cons/car/cdr/length and friends).
+        "cons": B.cons,
+        "car": B.car,
+        "cdr": B.cdr,
+        "first": B.car,
+        "rest": B.cdr,
+        "list": lambda *vs: tuple(vs),
+        "null": (),
+        "empty": (),
+        "length": B.length,
+        "null?": B.is_null,
+        "empty?": B.is_null,
+        "pair?": B.is_pair,
+        "list-ref": B.list_ref,
+        "append": B.append,
+        "reverse": B.reverse,
+        "take": B.take,
+        "drop": B.drop,
+        "map": lambda proc, lst: B.list_map(proc, lst),
+        "foldl": lambda proc, init, lst: B.list_foldl(
+            lambda element, acc: B.apply_value(proc, element, acc), init, lst),
+        "filter": _list_filter,
+        "build-list": _build_list,
+        "range": _range,
+        "second": lambda lst: B.list_ref(lst, 1),
+        "third": lambda lst: B.list_ref(lst, 2),
+        "last": lambda lst: B.list_ref(lst, ops.sub(B.length(lst), 1)),
+        # Type predicates (Fig. 7).
+        "boolean?": B.is_boolean,
+        "number?": B.is_number,
+        "integer?": B.is_number,
+        "list?": B.is_list,
+        "procedure?": B.is_procedure,
+        "union?": B.is_union,
+        "vector?": B.is_vector,
+        "box?": B.is_box,
+        "symbol?": lambda v: isinstance(v, Symbol),
+        "string?": lambda v: isinstance(v, str) and
+        not isinstance(v, (bool, Symbol)),
+        # Equality. HL deliberately omits eq?/eqv? (§4.4); equal? only.
+        "equal?": B.equal,
+        # Unions and reflection (§4.7).
+        "union-size": union_size,
+        "union-contents": _union_contents_value,
+        # Vectors and boxes (mutable storage).
+        "vector": lambda *vs: Vector(list(vs)),
+        "make-vector": _make_vector,
+        "vector-ref": _vector_ref,
+        "vector-set!": _vector_set,
+        "vector-length": _vector_length,
+        "box": lambda v: Box(v),
+        "unbox": _unbox,
+        "set-box!": _set_box,
+        # Strings, symbols, regexps (lifted by symbolic reflection).
+        "string-append": _string_append,
+        "symbol->string": _symbol_to_string,
+        "string->symbol": _string_to_symbol,
+        "number->string": _number_to_string,
+        "regexp-match?": _regexp_match,
+        # Application and control.
+        "apply": lambda proc, args: B.union_apply(
+            lambda arglist: B.apply_value(
+                proc, *(arglist if isinstance(arglist, tuple)
+                        else _bad_list(arglist))),
+            args),
+        "generate-forms": interp.generate_forms,
+        "void": lambda *vs: None,
+        "error": _error,
+        # Models.
+        "evaluate": _evaluate,
+        "sat?": lambda v: isinstance(v, Model),
+        "unsat?": lambda v: v is False,
+        # Output.
+        "display": _display,
+        "displayln": _println,
+        "newline": lambda: print(),
+    }
+    return env

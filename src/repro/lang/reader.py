@@ -1,0 +1,168 @@
+"""S-expression reader for the HL language.
+
+Produces a simple Python representation:
+
+- symbols    → :class:`Symbol` (an interned ``str`` subclass),
+- integers   → ``int``,
+- booleans   → ``bool`` (``#t``/``#f``/``true``/``false``),
+- strings    → ``str``,
+- lists      → Python ``list`` (square brackets are interchangeable with
+  parentheses, as in Racket),
+- ``'x``     → ``[Symbol('quote'), x]``.
+
+Line comments start with ``;``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class ParseError(ValueError):
+    """A syntax error in HL source text."""
+
+
+class Symbol(str):
+    """An identifier. A distinct type so symbols never mix with strings."""
+
+    __slots__ = ()
+
+    _interned: dict = {}
+
+    def __new__(cls, name: str):
+        cached = cls._interned.get(name)
+        if cached is None:
+            cached = super().__new__(cls, name)
+            cls._interned[name] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+_DELIMS = "()[]'\";"
+_CLOSER = {"(": ")", "[": "]"}
+
+
+def tokenize(text: str) -> List[Tuple[str, object]]:
+    """Split source text into (kind, value) tokens."""
+    tokens: List[Tuple[str, object]] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()[]":
+            tokens.append(("paren", ch))
+            i += 1
+        elif ch == "'":
+            tokens.append(("quote", "'"))
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            chunks: List[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    escape = text[j + 1]
+                    chunks.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    j += 2
+                else:
+                    chunks.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal")
+            tokens.append(("string", "".join(chunks)))
+            i = j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in _DELIMS:
+                j += 1
+            tokens.append(("atom", text[i:j]))
+            i = j
+    return tokens
+
+
+def _parse_atom(text: str) -> object:
+    if text == "#t" or text == "true":
+        return True
+    if text == "#f" or text == "false":
+        return False
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    if text.startswith("-") and text[1:].isdigit():
+        return int(text)
+    return Symbol(text)
+
+
+def _read_form(tokens: List[Tuple[str, object]], position: int):
+    if position >= len(tokens):
+        raise ParseError("unexpected end of input")
+    kind, value = tokens[position]
+    if kind == "quote":
+        inner, after = _read_form(tokens, position + 1)
+        return [Symbol("quote"), inner], after
+    if kind == "string":
+        return value, position + 1
+    if kind == "atom":
+        return _parse_atom(value), position + 1
+    if kind == "paren" and value in "([":
+        closer = _CLOSER[value]
+        items: List[object] = []
+        position += 1
+        while True:
+            if position >= len(tokens):
+                raise ParseError(f"missing closing '{closer}'")
+            next_kind, next_value = tokens[position]
+            if next_kind == "paren" and next_value in ")]":
+                if next_value != closer:
+                    raise ParseError(
+                        f"mismatched delimiter: expected '{closer}', "
+                        f"got '{next_value}'")
+                return items, position + 1
+            form, position = _read_form(tokens, position)
+            items.append(form)
+    raise ParseError(f"unexpected token {value!r}")
+
+
+def read(text: str):
+    """Parse exactly one form from `text`."""
+    tokens = tokenize(text)
+    form, after = _read_form(tokens, 0)
+    if after != len(tokens):
+        raise ParseError("trailing input after the first form")
+    return form
+
+
+def read_all(text: str) -> List[object]:
+    """Parse all top-level forms in `text`."""
+    tokens = tokenize(text)
+    forms: List[object] = []
+    position = 0
+    while position < len(tokens):
+        form, position = _read_form(tokens, position)
+        forms.append(form)
+    return forms
+
+
+def write_form(form) -> str:
+    """Render a form back to source text (used by generate-forms/render).
+
+    Accepts both reader output (Python lists) and HL runtime data
+    (tuples), so quoted values round-trip too.
+    """
+    if isinstance(form, bool):
+        return "#t" if form else "#f"
+    if isinstance(form, Symbol):
+        return str(form)
+    if isinstance(form, str):
+        escaped = form.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(form, (list, tuple)):
+        return "(" + " ".join(write_form(item) for item in form) + ")"
+    return repr(form)

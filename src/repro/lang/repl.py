@@ -1,0 +1,93 @@
+"""An interactive REPL for the HL solver-aided language.
+
+Run with ``python -m repro.lang.repl``. One SVM and one interpreter live
+for the whole session, so definitions, symbolic constants, and assertions
+accumulate across inputs — `(solve ...)` sees everything asserted so far,
+exactly like the paper's interactive transcripts in §2.
+
+Commands: ``,quit`` exits, ``,reset`` starts a fresh session, ``,asserts``
+prints the current assertion store, ``,width N`` restarts with N-bit
+integers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.interp import Interpreter, LangError
+from repro.lang.reader import ParseError
+from repro.smt.terms import to_sexpr
+from repro.vm.context import VM
+from repro.vm.errors import SvmError
+
+
+class Repl:
+    """A read-eval-print session over one persistent VM."""
+
+    def __init__(self, int_width: int = 8):
+        self.int_width = int_width
+        self._start()
+
+    def _start(self) -> None:
+        self.vm = VM()
+        self.vm.__enter__()
+        self.interp = Interpreter(int_width=self.int_width)
+
+    def _stop(self) -> None:
+        self.vm.__exit__(None, None, None)
+
+    def reset(self) -> None:
+        self._stop()
+        self._start()
+
+    def eval_line(self, line: str) -> Optional[str]:
+        """Evaluate one input line; returns the text to print (or None)."""
+        stripped = line.strip()
+        if not stripped:
+            return None
+        if stripped == ",quit":
+            raise EOFError
+        if stripped == ",reset":
+            self.reset()
+            return "session reset"
+        if stripped == ",asserts":
+            if not self.vm.assertions:
+                return "assertion store is empty"
+            return "\n".join(to_sexpr(a, max_depth=8)
+                             for a in self.vm.assertions)
+        if stripped.startswith(",width"):
+            try:
+                self.int_width = int(stripped.split()[1])
+            except (IndexError, ValueError):
+                return "usage: ,width N"
+            self.reset()
+            return f"restarted with {self.int_width}-bit integers"
+        try:
+            results = self.interp.run(line)
+        except (ParseError, LangError, SvmError) as error:
+            return f"error: {error}"
+        shown = [repr(value) for value in results if value is not None]
+        return "\n".join(shown) if shown else None
+
+
+def main() -> None:
+    print(f"HL repl — a solver-aided host language "
+          f"({Repl().__class__.__module__})")
+    print("commands: ,quit ,reset ,asserts ,width N")
+    repl = Repl()
+    while True:
+        try:
+            line = input("hl> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        try:
+            output = repl.eval_line(line)
+        except EOFError:
+            break
+        if output is not None:
+            print(output)
+
+
+if __name__ == "__main__":
+    main()

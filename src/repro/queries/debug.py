@@ -1,0 +1,130 @@
+"""The debug query: minimal-unsatisfiable-core fault localization (§2.2).
+
+The paper's ``(debug [predicate] expr)`` asks: which expressions of the
+given dynamic type are *collectively responsible* for an assertion failure?
+The encoding (following Bug-Assist [20] and the paper): every evaluated
+expression whose value satisfies the predicate is made *relaxable* — its
+value v is replaced by ``ite(sel, v, fresh)`` for a fresh selector ``sel``
+and an unconstrained fresh constant. Keeping a selector true means "this
+expression behaves as written". The failing assertions plus all selectors
+are unsatisfiable; a minimal unsat core over the selectors names a minimal
+set of expressions that cannot all be kept — the paper's minimal core, any
+member of which can be altered to repair the program.
+
+Instrumentation happens through :func:`relax`, which the HL interpreter
+calls on every evaluated expression (carrying the source form as the
+label); Python-embedded SDSL code can call it explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym.values import (
+    SymInt,
+    bool_term,
+    default_int_width,
+    is_boolean_value,
+    is_integer_value,
+    wrap_bool,
+    wrap_int,
+)
+from repro.vm.context import VM
+from repro.vm.errors import AssertionFailure
+from repro.queries.outcome import QueryOutcome
+
+_sessions: List["DebugSession"] = []
+
+
+class DebugSession:
+    """Collects relaxation selectors during an instrumented evaluation."""
+
+    def __init__(self, predicate: Callable[[object], bool]):
+        self.predicate = predicate
+        self.relaxations: List[Tuple[object, T.Term]] = []  # (label, selector)
+
+    def __enter__(self):
+        _sessions.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        popped = _sessions.pop()
+        assert popped is self
+
+    def make_relaxed(self, value, label):
+        index = len(self.relaxations)
+        selector = T.bool_var(f"sel!{index}")
+        self.relaxations.append((label, selector))
+        if is_boolean_value(value):
+            fresh = T.bool_var(f"angel!{index}")
+            return wrap_bool(T.mk_ite(selector, bool_term(value), fresh))
+        width = value.width if isinstance(value, SymInt) else default_int_width()
+        fresh = T.bv_var(f"angel!{index}", width)
+        original = value.term if isinstance(value, SymInt) \
+            else T.bv_const(value, width)
+        return wrap_int(T.mk_ite(selector, original, fresh))
+
+
+def relax(value, label):
+    """Make `value` relaxable in the active debug session, if any.
+
+    Outside a debug session — or when the value does not satisfy the
+    session's predicate, or is not a primitive — the value is returned
+    unchanged, so instrumentation points cost nothing in normal runs.
+    """
+    if not _sessions:
+        return value
+    session = _sessions[-1]
+    if not (is_boolean_value(value) or is_integer_value(value)):
+        return value
+    if not session.predicate(value):
+        return value
+    return session.make_relaxed(value, label)
+
+
+def debug(thunk: Callable[[], object],
+          predicate: Optional[Callable[[object], bool]] = None,
+          max_conflicts: Optional[int] = None) -> QueryOutcome:
+    """Localize the failure of `thunk` to a minimal core of expressions.
+
+    Returns a ``sat`` outcome whose ``core`` lists the labels of a minimal
+    set of relaxed expressions responsible for the failure; ``unsat`` means
+    the thunk does not actually fail (nothing to debug).
+    """
+    if predicate is None:
+        predicate = lambda value: True  # relax every primitive
+    with VM() as vm, DebugSession(predicate) as session:
+        vm.stats.start()
+        try:
+            thunk()
+            definite_failure = False
+        except AssertionFailure:
+            definite_failure = True
+        finally:
+            vm.stats.stop()
+        if definite_failure:
+            return QueryOutcome(
+                "unknown", stats=vm.stats,
+                message="failure is independent of any relaxable expression")
+        solver = SmtSolver(max_conflicts=max_conflicts)
+        for assertion in vm.assertions:
+            solver.add_assertion(assertion)
+        selectors = [selector for _, selector in session.relaxations]
+        label_of = {selector: label for label, selector in session.relaxations}
+        started = time.perf_counter()
+        result = solver.check(selectors)
+        if result is SmtResult.SAT:
+            vm.stats.solver_seconds += time.perf_counter() - started
+            return QueryOutcome("unsat", stats=vm.stats,
+                                message="no assertion failure to debug")
+        if result is SmtResult.UNKNOWN:
+            vm.stats.solver_seconds += time.perf_counter() - started
+            return QueryOutcome("unknown", stats=vm.stats)
+        core = solver.minimize_core()
+        vm.stats.solver_seconds += time.perf_counter() - started
+        labels = [label_of[selector] for selector in core
+                  if selector in label_of]
+        return QueryOutcome("sat", core=labels, stats=vm.stats)

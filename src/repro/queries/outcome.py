@@ -1,0 +1,80 @@
+"""Query results: first-class models and outcomes (§2.2).
+
+The paper stresses that interpretations (models) and cores are *first-class
+values* that programs can manipulate; :class:`Model` here plays that role.
+``model.evaluate(value)`` maps any SVM value — symbolic primitives, lists,
+unions, boxes, vectors — to the concrete value it denotes under the model,
+which is the paper's ``evaluate`` utility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.smt import terms as T
+from repro.smt.solver import Model as SmtModel
+from repro.sym.values import Box, SymBool, SymInt, Union
+from repro.vm.mutable import Vector
+from repro.vm.stats import EvalStats
+
+
+class Model:
+    """A solver interpretation of the symbolic constants, as SVM values."""
+
+    def __init__(self, smt_model: SmtModel):
+        self._smt = smt_model
+
+    def __contains__(self, value) -> bool:
+        if isinstance(value, (SymBool, SymInt)):
+            return value.term in self._smt
+        return False
+
+    def evaluate(self, value):
+        """Concretize an SVM value under this model."""
+        if isinstance(value, SymBool):
+            return bool(self._smt.evaluate(value.term))
+        if isinstance(value, SymInt):
+            return T.to_signed(self._smt.evaluate(value.term), value.width)
+        if isinstance(value, tuple):
+            return tuple(self.evaluate(element) for element in value)
+        if isinstance(value, Union):
+            for guard, member in value.entries:
+                if self._smt.evaluate(guard):
+                    return self.evaluate(member)
+            # No guard holds: the union is unreachable under this model;
+            # return the last member's value as an arbitrary representative.
+            return self.evaluate(value.entries[-1][1])
+        if isinstance(value, Box):
+            return self.evaluate(value.value)
+        if isinstance(value, Vector):
+            return [self.evaluate(cell) for cell in value.cells]
+        return value
+
+    def bindings(self) -> Dict[T.Term, object]:
+        return self._smt.bindings()
+
+    def __repr__(self) -> str:
+        return f"Model({self._smt.bindings()})"
+
+
+class QueryOutcome:
+    """The result of a solver-aided query."""
+
+    def __init__(self, status: str, model: Optional[Model] = None,
+                 core: Optional[List] = None,
+                 stats: Optional[EvalStats] = None,
+                 message: str = ""):
+        if status not in ("sat", "unsat", "unknown"):
+            raise ValueError(f"bad status {status!r}")
+        self.status = status
+        self.model = model
+        self.core = core or []
+        self.stats = stats or EvalStats()
+        self.message = message
+
+    def __bool__(self) -> bool:
+        return self.status == "sat"
+
+    def __repr__(self) -> str:
+        extra = f", {self.message}" if self.message else ""
+        return f"QueryOutcome({self.status}{extra})"

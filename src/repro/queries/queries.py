@@ -1,0 +1,222 @@
+"""The solver-aided queries: solve, verify, and synthesize (§2.2, rule SQ1).
+
+Each query evaluates a Python thunk under a fresh :class:`repro.vm.context.VM`.
+The thunk builds symbolic values, branches through ``vm.branch``/lifted
+builtins, and calls ``vm.assert_``; evaluation leaves behind the assertion
+store α, and the query then asks the solver:
+
+- ``solve``   — ∃ inputs. ⋀α          (angelic execution)
+- ``verify``  — ∃ inputs. ⋁_{a∈α} ¬a   (find a counterexample)
+- ``synthesize`` — ∃ holes. ∀ inputs. ⋀α, decided by CEGIS with
+  formula-level substitution of counterexamples (no re-execution needed).
+
+Queries return a :class:`~repro.queries.outcome.QueryOutcome` carrying the
+model (or counterexample), the evaluation statistics (Table 4's columns),
+and solver timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym.values import SymBool, SymInt
+from repro.vm.context import VM
+from repro.vm.errors import AssertionFailure
+from repro.queries.outcome import Model, QueryOutcome
+
+
+def _run(thunk: Callable[[], object], vm: VM):
+    """Evaluate the thunk under `vm`, returning (definitely_failed, value)."""
+    vm.stats.start()
+    try:
+        value = thunk()
+        return False, value
+    except AssertionFailure:
+        return True, None
+    finally:
+        vm.stats.stop()
+
+
+def _check(solver: SmtSolver, vm: VM,
+           assumptions: Sequence[T.Term] = ()) -> SmtResult:
+    started = time.perf_counter()
+    result = solver.check(assumptions)
+    vm.stats.solver_seconds += time.perf_counter() - started
+    return result
+
+
+def solve(thunk: Callable[[], object],
+          max_conflicts: Optional[int] = None) -> QueryOutcome:
+    """Find an interpretation under which the thunk's assertions all hold."""
+    with VM() as vm:
+        failed, _ = _run(thunk, vm)
+        if failed:
+            return QueryOutcome("unsat", stats=vm.stats,
+                                message="execution fails on every path")
+        solver = SmtSolver(max_conflicts=max_conflicts)
+        for assertion in vm.assertions:
+            solver.add_assertion(assertion)
+        result = _check(solver, vm)
+        if result is SmtResult.SAT:
+            return QueryOutcome("sat", model=Model(solver.model()),
+                                stats=vm.stats)
+        if result is SmtResult.UNKNOWN:
+            return QueryOutcome("unknown", stats=vm.stats)
+        return QueryOutcome("unsat", stats=vm.stats)
+
+
+def verify(thunk: Callable[[], object],
+           setup: Optional[Callable[[], object]] = None,
+           max_conflicts: Optional[int] = None) -> QueryOutcome:
+    """Find a counterexample: an interpretation violating some assertion.
+
+    Assertions made by `setup` (and, in Rosette, any assertions made before
+    the ``verify`` call) are *assumptions* — preconditions the inputs must
+    satisfy; assertions made by `thunk` are the verification targets. A
+    `sat` outcome means the property FAILS (the model is the
+    counterexample); `unsat` means the assertions hold for every input —
+    the paper's "no counterexample found".
+    """
+    with VM() as vm:
+        if setup is not None:
+            setup_failed, _ = _run(setup, vm)
+            if setup_failed:
+                return QueryOutcome("unsat", stats=vm.stats,
+                                    message="preconditions are unsatisfiable")
+        assumptions = list(vm.assertions)
+        mark = len(assumptions)
+        failed, _ = _run(thunk, vm)
+        if failed:
+            # Execution fails unconditionally: every input is a witness.
+            return QueryOutcome("sat", model=Model(_empty_model()),
+                                stats=vm.stats,
+                                message="definite assertion failure")
+        targets = vm.assertions[mark:]
+        if not targets:
+            return QueryOutcome("unsat", stats=vm.stats,
+                                message="no assertions reachable")
+        solver = SmtSolver(max_conflicts=max_conflicts)
+        for assumption in assumptions:
+            solver.add_assertion(assumption)
+        solver.add_assertion(T.mk_or(*[T.mk_not(a) for a in targets]))
+        result = _check(solver, vm)
+        if result is SmtResult.SAT:
+            return QueryOutcome("sat", model=Model(solver.model()),
+                                stats=vm.stats)
+        if result is SmtResult.UNKNOWN:
+            return QueryOutcome("unknown", stats=vm.stats)
+        return QueryOutcome("unsat", stats=vm.stats)
+
+
+def _empty_model():
+    from repro.smt.solver import Model as SmtModel
+    return SmtModel({})
+
+
+def _input_terms(inputs: Iterable) -> List[T.Term]:
+    terms = []
+    for value in inputs:
+        if isinstance(value, (SymBool, SymInt)):
+            terms.append(value.term)
+        elif isinstance(value, T.Term):
+            terms.append(value)
+        else:
+            raise TypeError(
+                f"synthesis inputs must be symbolic constants: {value!r}")
+    return terms
+
+
+def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
+          max_iterations: int = 64,
+          max_conflicts: Optional[int] = None) -> QueryOutcome:
+    """Counterexample-guided inductive synthesis of ∃holes ∀inputs. goal.
+
+    Counterexamples are *substituted* into the goal formula — the term
+    layer re-simplifies bottom-up, so each example formula is typically
+    much smaller than the symbolic goal and no program re-execution is
+    needed.
+    """
+    inputs = set(input_terms)
+    hole_terms = [var for var in T.term_vars(goal) if var not in inputs]
+    examples: List[dict] = [{var: _default_value(var) for var in inputs}]
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        # Guess: find hole values consistent with all examples so far.
+        guess_solver = SmtSolver(max_conflicts=max_conflicts)
+        for example in examples:
+            bound = T.substitute(goal, {
+                var: _const_for(var, value)
+                for var, value in example.items()})
+            guess_solver.add_assertion(bound)
+        guess_result = _check(guess_solver, vm)
+        if guess_result is SmtResult.UNKNOWN:
+            return QueryOutcome("unknown", stats=vm.stats)
+        if guess_result is not SmtResult.SAT:
+            return QueryOutcome(
+                "unsat", stats=vm.stats,
+                message=f"no candidate after {len(examples)} example(s)")
+        candidate = guess_solver.model(hole_terms)
+
+        # Check: does the candidate work for every input?
+        checked = T.substitute(goal, {
+            var: _const_for(var, candidate[var]) for var in hole_terms})
+        check_solver = SmtSolver(max_conflicts=max_conflicts)
+        check_solver.add_assertion(T.mk_not(checked))
+        check_result = _check(check_solver, vm)
+        if check_result is SmtResult.UNKNOWN:
+            return QueryOutcome("unknown", stats=vm.stats)
+        if check_result is not SmtResult.SAT:
+            outcome = QueryOutcome("sat", model=Model(candidate),
+                                   stats=vm.stats)
+            outcome.message = f"cegis converged in {iterations} iteration(s)"
+            return outcome
+        counterexample = check_solver.model(list(inputs))
+        examples.append({var: counterexample[var] for var in inputs})
+    return QueryOutcome("unknown", stats=vm.stats,
+                        message=f"cegis hit the {max_iterations}-iteration cap")
+
+
+def synthesize(inputs: Sequence, thunk: Callable[[], object],
+               setup: Optional[Callable[[], object]] = None,
+               max_iterations: int = 64,
+               max_conflicts: Optional[int] = None) -> QueryOutcome:
+    """CEGIS synthesis: make the assertions hold for *all* `inputs`.
+
+    `inputs` are the universally quantified symbolic constants (the paper's
+    ``(synthesize [input] expr)`` form); every other symbolic constant in
+    the assertions is an existentially quantified hole. Assertions made by
+    `setup` are input preconditions: the goal is ∀inputs. pre ⇒ post.
+    """
+    with VM() as vm:
+        if setup is not None:
+            setup_failed, _ = _run(setup, vm)
+            if setup_failed:
+                return QueryOutcome("unsat", stats=vm.stats,
+                                    message="preconditions are unsatisfiable")
+        assumptions = list(vm.assertions)
+        mark = len(assumptions)
+        failed, _ = _run(thunk, vm)
+        if failed:
+            return QueryOutcome("unsat", stats=vm.stats,
+                                message="execution fails on every path")
+        targets = vm.assertions[mark:]
+        pre = T.mk_and(*assumptions) if assumptions else T.TRUE
+        post = T.mk_and(*targets) if targets else T.TRUE
+        goal = T.mk_implies(pre, post)
+        return cegis(goal, _input_terms(inputs), vm,
+                     max_iterations=max_iterations,
+                     max_conflicts=max_conflicts)
+
+
+def _default_value(var: T.Term):
+    return False if var.sort is T.BOOL else 0
+
+
+def _const_for(var: T.Term, value) -> T.Term:
+    if var.sort is T.BOOL:
+        return T.TRUE if value else T.FALSE
+    return T.bv_const(int(value), var.width)

@@ -1,0 +1,14 @@
+"""Case-study solver-aided DSLs (§5 of the paper).
+
+Four guest languages hosted on the SVM:
+
+- :mod:`repro.sdsl.automata` — the §2 running example: a declarative
+  finite-automata language built with a ``syntax-rules`` macro, with
+  angelic execution, debugging, verification, and sketch-based synthesis;
+- :mod:`repro.sdsl.synthcl` — SYNTHCL, an imperative language for
+  solver-aided development of OpenCL-style data-parallel kernels;
+- :mod:`repro.sdsl.websynth` — WEBSYNTH, example-based web scraping by
+  XPath synthesis over HTML trees;
+- :mod:`repro.sdsl.ifcl` — IFCL, executable semantics of secure
+  information-flow stack machines, verified against non-interference.
+"""

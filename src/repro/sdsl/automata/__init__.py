@@ -1,0 +1,18 @@
+"""The §2 automata SDSL, packaged for reuse.
+
+Exposes the paper's running example as a library: the ``automaton``
+syntax-rules macro, symbolic word generators, the regexp spec (lifted via
+symbolic reflection), and high-level helpers that run the four solver-aided
+interactions — angelic execution, debugging, verification, and sketch
+synthesis — over any automaton description.
+"""
+
+from repro.sdsl.automata.dsl import (
+    AUTOMATON_MACRO,
+    BUGGY_AUTOMATON_MACRO,
+    PRELUDE,
+    AutomataSession,
+)
+
+__all__ = ["AUTOMATON_MACRO", "BUGGY_AUTOMATON_MACRO", "PRELUDE",
+           "AutomataSession"]

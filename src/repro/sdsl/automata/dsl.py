@@ -1,0 +1,148 @@
+"""The automata SDSL: HL sources and a Python driver.
+
+The HL sources reproduce Figures 1–4 of the paper: the ``automaton``
+macro (with the accepting-states fix discussed in §2.2 — the published
+Figure 2 returns ``true`` on the empty stream, which the debug query
+localizes), symbolic word generators built on ``define-symbolic*``, and
+the regexp specification lifted with symbolic reflection.
+
+:class:`AutomataSession` wraps an HL interpreter with these definitions
+loaded and offers one method per §2 interaction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang import Interpreter
+from repro.vm.context import VM
+
+#: Figure 2 with the accepting-state fix: a state accepts the empty word
+#: iff it has no outgoing transitions (the repair suggested in §2.2).
+AUTOMATON_MACRO = """
+(define-syntax automaton
+  (syntax-rules (: ->)
+    [(_ init-state [state : (label -> target) ...] ...)
+     (letrec ([state
+               (lambda (stream)
+                 (cond
+                   [(empty? stream) (empty? '(label ...))]
+                   [else
+                    (case (first stream)
+                      [(label) (target (rest stream))] ...
+                      [else false])]))] ...)
+       init-state)]))
+"""
+
+#: Figure 2 exactly as published: every state accepts the empty word.
+BUGGY_AUTOMATON_MACRO = """
+(define-syntax automaton
+  (syntax-rules (: ->)
+    [(_ init-state [state : (label -> target) ...] ...)
+     (letrec ([state
+               (lambda (stream)
+                 (cond
+                   [(empty? stream) true]
+                   [else
+                    (case (first stream)
+                      [(label) (target (rest stream))] ...
+                      [else false])]))] ...)
+       init-state)]))
+"""
+
+#: Word generators (§2.2) and the reflective regexp spec (§2.3).
+#: `word` is the paper's code verbatim: for/list over a length, drawing a
+#: fresh symbolic index per element via define-symbolic*.
+PRELUDE = """
+(define (word k alphabet)
+  (for/list ([i k])
+    (begin (define-symbolic* idx number?)
+           (list-ref alphabet idx))))
+(define (word* k alphabet)
+  (begin (define-symbolic* n number?)
+         (take (word k alphabet) n)))
+(define (word->string w)
+  (apply string-append (map symbol->string w)))
+(define (spec regex w)
+  (regexp-match? regex (word->string w)))
+(define reject (lambda (stream) false))
+"""
+
+
+class AutomataSession:
+    """An HL interpreter pre-loaded with the automata SDSL."""
+
+    def __init__(self, buggy: bool = False, int_width: int = 8):
+        self.interp = Interpreter(int_width=int_width)
+        self._vm = VM()
+        self._vm.__enter__()
+        macro = BUGGY_AUTOMATON_MACRO if buggy else AUTOMATON_MACRO
+        self.interp.run(macro + PRELUDE)
+
+    def close(self) -> None:
+        self._vm.__exit__(None, None, None)
+
+    def __enter__(self) -> "AutomataSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def define(self, source: str) -> None:
+        """Evaluate additional HL definitions (e.g. an automaton)."""
+        self.interp.run(source)
+
+    def accepts(self, automaton: str, word: Sequence[str]) -> bool:
+        """Run an automaton on a concrete word."""
+        literal = " ".join(word)
+        return self.interp.run(f"({automaton} '({literal}))")[0]
+
+    def find_accepted_word(self, automaton: str, max_length: int,
+                           alphabet: Sequence[str]) -> Optional[Tuple[str, ...]]:
+        """Angelic execution: a word the automaton accepts, if any."""
+        letters = " ".join(alphabet)
+        result = self.interp.run(f"""
+            (let ([w (word* {max_length} '({letters}))])
+              (let ([m (solve (assert ({automaton} w)))])
+                (if (sat? m) (evaluate w m) false)))
+        """)[0]
+        return result if result is not False else None
+
+    def verify_against_regex(self, automaton: str, regex: str,
+                             max_length: int,
+                             alphabet: Sequence[str]) -> Optional[Tuple[str, ...]]:
+        """Bounded verification against a regexp spec; None if it holds."""
+        letters = " ".join(alphabet)
+        result = self.interp.run(f"""
+            (let ([w (word* {max_length} '({letters}))])
+              (let ([cex (verify (assert (equal? (spec "{regex}" w)
+                                                 ({automaton} w))))])
+                (if (sat? cex) (evaluate w cex) false)))
+        """)[0]
+        return result if result is not False else None
+
+    def debug_empty_word(self, automaton: str) -> List[str]:
+        """The §2.2 debug query: why does the automaton accept '()?"""
+        core = self.interp.run(
+            f"(debug [boolean?] (assert (not ({automaton} '()))))")[0]
+        return list(core)
+
+    def synthesize_against_regex(self, sketch_name: str, regex: str,
+                                 max_length: int,
+                                 alphabet: Sequence[str]):
+        """Complete a sketch (uses `choose` holes) against a regexp spec.
+
+        Returns the ((site chosen) ...) pairs of ``generate-forms``, or
+        None when the sketch cannot be completed.
+        """
+        letters = " ".join(alphabet)
+        result = self.interp.run(f"""
+            (let ([w (word* {max_length} '({letters}))])
+              (let ([m (synthesize [w]
+                         (assert (equal? (spec "{regex}" w)
+                                         ({sketch_name} w))))])
+                (if (sat? m) (generate-forms m) false)))
+        """)[0]
+        return result if result is not False else None

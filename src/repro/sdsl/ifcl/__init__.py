@@ -1,0 +1,52 @@
+"""IFCL — a functional SDSL for executable semantics of IFC stack machines.
+
+The paper's third case study (§5.1): abstract stack-and-pointer machines
+that track dynamic information flow with security labels, re-implementing
+the machines of Hritcu et al., *Testing Noninterference, Quickly* (ICFP
+2013). A machine is "secure" if it enjoys end-to-end non-interference
+(EENI): indistinguishable initial states that both halt end in
+indistinguishable final states.
+
+The SDSL provides:
+
+- :mod:`repro.sdsl.ifcl.machine` — machine states (immutable records with
+  type-driven merging), the instruction set, and the step semantics,
+  parameterized so variants can override individual rules;
+- :mod:`repro.sdsl.ifcl.bugs` — the ten buggy semantics variants
+  (B1–B4 for the basic machine, J1–J2 for jumps, CR1–CR4 for
+  call/return), each violating EENI;
+- :mod:`repro.sdsl.ifcl.verify` — the bounded EENI verifier: a symbolic
+  instruction sequence drives two machine runs whose high data may differ,
+  and the solver searches for distinguishable final memories.
+"""
+
+from repro.sdsl.ifcl.machine import (
+    BASIC_OPS,
+    CR_OPS,
+    JUMP_OPS,
+    MachineState,
+    Semantics,
+    OPCODES,
+)
+from repro.sdsl.ifcl.bugs import BUGGY_MACHINES, CORRECT_MACHINES
+from repro.sdsl.ifcl.verify import (
+    EENIResult,
+    SymbolicProgram,
+    eeni_check,
+    eeni_thunks,
+)
+from repro.sdsl.ifcl.replay import (
+    DecodedInstruction,
+    ReplayResult,
+    check_attack,
+    decode_attack,
+    replay_attack,
+)
+
+__all__ = [
+    "BASIC_OPS", "CR_OPS", "JUMP_OPS", "MachineState", "Semantics",
+    "OPCODES", "BUGGY_MACHINES", "CORRECT_MACHINES",
+    "EENIResult", "SymbolicProgram", "eeni_check", "eeni_thunks",
+    "DecodedInstruction", "ReplayResult", "check_attack", "decode_attack",
+    "replay_attack",
+]

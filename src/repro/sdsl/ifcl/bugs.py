@@ -1,0 +1,178 @@
+"""The ten buggy IFC semantics variants (Table 3: B1–B4, J1–J2, CR1–CR4).
+
+Each variant re-implements one rule of the correct machine with a missing
+or wrong label operation, following the bug catalogue of Hritcu et al.,
+*Testing Noninterference, Quickly*. Every variant violates end-to-end
+non-interference, which the bounded verifier of
+:mod:`repro.sdsl.ifcl.verify` demonstrates by finding a counterexample —
+the paper's confirmation "that they are buggy with respect to the desired
+security property" (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sym import ops
+from repro.sdsl.ifcl.machine import (
+    BASIC_OPS,
+    CR_OPS,
+    JUMP_OPS,
+    Semantics,
+)
+
+
+class B1AddNoJoin(Semantics):
+    """Add takes the first operand's label instead of the join."""
+
+    name = "B1"
+
+    def __init__(self):
+        super().__init__(BASIC_OPS)
+
+    def add_label(self, label_a, label_b):
+        return label_b  # drops the taint of the top operand
+
+
+class B2PushLow(Semantics):
+    """Push labels every immediate low, laundering secret constants."""
+
+    name = "B2"
+
+    def __init__(self):
+        super().__init__(BASIC_OPS)
+
+    def rule_push(self, state, imm_value, imm_label):
+        return super().rule_push(state, imm_value, False)
+
+
+class B3LoadNoTaint(Semantics):
+    """Load drops the memory cell's label: a secret stored high can be
+    laundered by reading it back (needs a Store+Load round trip, so its
+    minimal attack is longer than B2/B4's)."""
+
+    name = "B3"
+
+    def __init__(self):
+        super().__init__(BASIC_OPS)
+
+    def load_label(self, cell_label, addr_label):
+        return addr_label
+
+
+class B4StoreNoNSU(Semantics):
+    """Store misses the no-sensitive-upgrade check: writing through a
+    secret pointer moves the high label to a secret-dependent cell."""
+
+    name = "B4"
+
+    def __init__(self):
+        super().__init__(BASIC_OPS)
+
+    def store_allowed(self, addr_label, pc_label, old_label):
+        return True
+
+
+class J1JumpNoPcTaint(Semantics):
+    """Jump does not raise the pc label when jumping on secret targets."""
+
+    name = "J1"
+
+    def __init__(self):
+        super().__init__(JUMP_OPS)
+
+    def jump_pc_label(self, target_label, pc_label):
+        return pc_label  # the secret target never taints the pc
+
+
+class J2StoreNoPcTaint(Semantics):
+    """Store ignores the pc label (both in the written label and in the
+    no-sensitive-upgrade check): secret control flow leaks via memory."""
+
+    name = "J2"
+
+    def __init__(self):
+        super().__init__(JUMP_OPS)
+
+    def store_label(self, value_label, addr_label, pc_label, old_label):
+        return ops.or_(value_label, addr_label)
+
+    def store_allowed(self, addr_label, pc_label, old_label):
+        return ops.implies(addr_label, old_label)
+
+
+class CR1CallNoPcTaint(Semantics):
+    """Call does not raise the pc label for secret call targets."""
+
+    name = "CR1"
+
+    def __init__(self):
+        super().__init__(CR_OPS)
+
+    def call_pc_label(self, target_label, pc_label):
+        return pc_label
+
+
+class CR2ReturnKeepsPcLabel(Semantics):
+    """Return fails to restore the saved pc label (stays tainted forever —
+    which is 'safe' — but combined with the frame label being dropped at
+    Call time, secret control flow escapes)."""
+
+    name = "CR2"
+
+    def __init__(self):
+        super().__init__(CR_OPS)
+
+    def call_frame_label(self, pc_label):
+        return False  # frames forget the saved pc label
+
+    def return_pc_label(self, frame_label, pc_label):
+        return frame_label
+
+
+class CR3ReturnClearsPcLabel(Semantics):
+    """Return clears the pc label outright instead of restoring it."""
+
+    name = "CR3"
+
+    def __init__(self):
+        super().__init__(CR_OPS)
+
+    def return_pc_label(self, frame_label, pc_label):
+        return False
+
+
+class CR4StoreNoPcTaint(Semantics):
+    """Store ignores the pc label in the call/return machine (the classic
+    implicit-flow leak: a store inside a secret-dependent call)."""
+
+    name = "CR4"
+
+    def __init__(self):
+        super().__init__(CR_OPS)
+
+    def store_label(self, value_label, addr_label, pc_label, old_label):
+        return ops.or_(value_label, addr_label)
+
+    def store_allowed(self, addr_label, pc_label, old_label):
+        return ops.implies(addr_label, old_label)
+
+
+BUGGY_MACHINES: Dict[str, Semantics] = {
+    "B1": B1AddNoJoin(),
+    "B2": B2PushLow(),
+    "B3": B3LoadNoTaint(),
+    "B4": B4StoreNoNSU(),
+    "J1": J1JumpNoPcTaint(),
+    "J2": J2StoreNoPcTaint(),
+    "CR1": CR1CallNoPcTaint(),
+    "CR2": CR2ReturnKeepsPcLabel(),
+    "CR3": CR3ReturnClearsPcLabel(),
+    "CR4": CR4StoreNoPcTaint(),
+}
+
+CORRECT_MACHINES: Dict[str, Semantics] = {
+    "basic": Semantics(BASIC_OPS),
+    "jump": Semantics(JUMP_OPS),
+    "cr": Semantics(CR_OPS),
+}

@@ -1,0 +1,380 @@
+"""IFC stack machines: state, instruction set, and step semantics.
+
+The design follows Hritcu et al. (ICFP 2013): a machine has a program
+counter (with a security label, for the jump/call machines), a stack of
+labeled integers, and a small data memory of labeled integers. Security
+labels form the two-point lattice {⊥ (low), ⊤ (high)}, represented as
+booleans (True = high); the lattice join is boolean or.
+
+Machine states are immutable records that opt into the SVM's *type-driven
+structural merging* via ``__sym_merge__`` (§4.2's "user-defined record
+types"): two states merge field by field, so the stack — a list that grows
+and shrinks — produces exactly the symbolic unions of different-length
+lists that the paper calls out in its discussion of the IFCL results
+(§5.3).
+
+The step semantics is a :class:`Semantics` object whose per-instruction
+rules are ordinary methods; the buggy variants of
+:mod:`repro.sdsl.ifcl.bugs` override single rules, mirroring how the bugs
+in *Testing Noninterference, Quickly* are one-rule mutations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.smt import terms as T
+from repro.sym import ops
+from repro.sym.merge import merge
+from repro.vm import builtins as B
+from repro.vm import context
+
+# Opcodes. A machine family supports a prefix of this list.
+NOOP, PUSH, POP, LOAD, STORE, ADD, HALT, JUMP, CALL, RETURN = range(10)
+
+OPCODES: Dict[int, str] = {
+    NOOP: "Noop", PUSH: "Push", POP: "Pop", LOAD: "Load", STORE: "Store",
+    ADD: "Add", HALT: "Halt", JUMP: "Jump", CALL: "Call", RETURN: "Return",
+}
+
+# Instruction sets of the three machine families (Table 3: 7 / 8 / 9).
+BASIC_OPS: Tuple[int, ...] = (NOOP, PUSH, POP, LOAD, STORE, ADD, HALT)
+JUMP_OPS: Tuple[int, ...] = BASIC_OPS + (JUMP,)
+CR_OPS: Tuple[int, ...] = BASIC_OPS + (CALL, RETURN)
+
+# Stack entry tags: plain data values vs. call-return frames.
+DATA = "data"
+FRAME = "frame"
+
+MEM_SIZE = 2  # as in the paper: "machine memory is limited to 2 cells"
+
+
+def entry(value, label) -> tuple:
+    """A data stack entry: a labeled integer."""
+    return (DATA, value, label)
+
+
+def frame(return_pc, label) -> tuple:
+    """A call frame carrying the return address and the saved pc label."""
+    return (FRAME, return_pc, label)
+
+
+class MachineState:
+    """An immutable machine state with field-wise symbolic merging."""
+
+    __slots__ = ("pc", "pc_lab", "stack", "mem", "halted", "crashed")
+
+    def __init__(self, pc, pc_lab, stack, mem, halted, crashed):
+        self.pc = pc
+        self.pc_lab = pc_lab
+        self.stack = stack
+        self.mem = mem
+        self.halted = halted
+        self.crashed = crashed
+
+    @classmethod
+    def initial(cls, mem: Sequence[tuple]) -> "MachineState":
+        return cls(pc=0, pc_lab=False, stack=(), mem=tuple(mem),
+                   halted=False, crashed=False)
+
+    def replace(self, **fields) -> "MachineState":
+        values = {slot: getattr(self, slot) for slot in self.__slots__}
+        values.update(fields)
+        return MachineState(**values)
+
+    # Type-driven merging protocol (Fig. 9, record extension).
+    def __sym_class_key__(self):
+        return ("ifcl-state",)
+
+    def __sym_merge__(self, guard: T.Term, other: "MachineState"):
+        return MachineState(
+            pc=merge(guard, self.pc, other.pc),
+            pc_lab=merge(guard, self.pc_lab, other.pc_lab),
+            stack=merge(guard, self.stack, other.stack),
+            mem=merge(guard, self.mem, other.mem),
+            halted=merge(guard, self.halted, other.halted),
+            crashed=merge(guard, self.crashed, other.crashed))
+
+    def __repr__(self):
+        return (f"MachineState(pc={self.pc!r}, halted={self.halted!r}, "
+                f"crashed={self.crashed!r}, stack={self.stack!r}, "
+                f"mem={self.mem!r})")
+
+
+def _switch(scrutinee, cases: List[Tuple[int, object]], default):
+    """Dispatch on an integer scrutinee: nested lifted ifs (joins!)."""
+    vm = context.current()
+    def chain(index: int):
+        if index == len(cases):
+            return default()
+        code, thunk = cases[index]
+        return vm.branch(ops.num_eq(scrutinee, code),
+                         thunk,
+                         lambda: chain(index + 1))
+    return chain(0)
+
+
+class Semantics:
+    """The correct IFC semantics; buggy variants override single rules.
+
+    `opcodes` selects the machine family (BASIC_OPS / JUMP_OPS / CR_OPS).
+    """
+
+    name = "correct"
+
+    def __init__(self, opcodes: Tuple[int, ...] = BASIC_OPS):
+        self.opcodes = opcodes
+
+    # -- stack helpers --------------------------------------------------
+
+    def _crash(self, state: MachineState) -> MachineState:
+        return state.replace(crashed=True)
+
+    def _pop(self, state: MachineState, consumer):
+        """Pop one entry; crash on underflow. `consumer(entry, rest)`."""
+        vm = context.current()
+        return vm.branch(
+            B.is_null(state.stack),
+            lambda: self._crash(state),
+            lambda: consumer(B.car(state.stack), B.cdr(state.stack)))
+
+    def _mem_read(self, state: MachineState, address, on_value):
+        """Read a labeled memory cell; crash on a bad address.
+
+        Memory is accessed through ``union_apply`` so the semantics also
+        runs under merge strategies that turn the memory tuple into a
+        union (the BMC-style ablation baseline).
+        """
+        vm = context.current()
+        def chain(index: int):
+            if index == MEM_SIZE:
+                return self._crash(state)
+            return vm.branch(
+                ops.num_eq(address, index),
+                lambda: B.union_apply(lambda mem: on_value(mem[index]),
+                                      state.mem),
+                lambda: chain(index + 1))
+        return chain(0)
+
+    def _mem_write(self, state: MachineState, address, cell,
+                   then) -> MachineState:
+        vm = context.current()
+        def chain(index: int):
+            if index == MEM_SIZE:
+                return self._crash(state)
+            def write():
+                return B.union_apply(
+                    lambda mem: then(mem[:index] + (cell,)
+                                     + mem[index + 1:]),
+                    state.mem)
+            return vm.branch(ops.num_eq(address, index), write,
+                             lambda: chain(index + 1))
+        return chain(0)
+
+    @staticmethod
+    def _data(stack_entry, on_data, otherwise):
+        """Case-split a stack entry: data value vs. call frame."""
+        vm = context.current()
+        return vm.branch(B.equal(B.car(stack_entry), DATA),
+                         lambda: on_data(B.list_ref(stack_entry, 1),
+                                         B.list_ref(stack_entry, 2)),
+                         otherwise)
+
+    # -- instruction rules (the correct machine) ------------------------
+
+    def rule_noop(self, state, imm_value, imm_label):
+        return state.replace(pc=ops.add(state.pc, 1))
+
+    def rule_push(self, state, imm_value, imm_label):
+        return state.replace(
+            pc=ops.add(state.pc, 1),
+            stack=B.cons(entry(imm_value, imm_label), state.stack))
+
+    def rule_pop(self, state, imm_value, imm_label):
+        return self._pop(state, lambda top, rest: state.replace(
+            pc=ops.add(state.pc, 1), stack=rest))
+
+    def load_label(self, cell_label, addr_label):
+        """The label of a Load result (the B3 bug targets this join)."""
+        return ops.or_(cell_label, addr_label)
+
+    def rule_load(self, state, imm_value, imm_label):
+        def with_addr(top, rest):
+            return self._data(
+                top,
+                lambda address, addr_label: self._mem_read(
+                    state, address,
+                    lambda cell: state.replace(
+                        pc=ops.add(state.pc, 1),
+                        stack=B.cons(entry(cell[0],
+                                           self.load_label(cell[1],
+                                                           addr_label)),
+                                     rest))),
+                lambda: self._crash(state))
+        return self._pop(state, with_addr)
+
+    def store_label(self, value_label, addr_label, pc_label, old_label):
+        """The label written to memory by Store (the rule bugs target)."""
+        return ops.or_(ops.or_(value_label, addr_label), pc_label)
+
+    def store_allowed(self, addr_label, pc_label, old_label):
+        """The *no-sensitive-upgrade* check (Hritcu et al.): storing through
+        a high pointer, or under a high pc, into a low cell would let the
+        set of labeled cells depend on a secret — the correct machine
+        crashes instead."""
+        return ops.implies(ops.or_(addr_label, pc_label), old_label)
+
+    def rule_store(self, state, imm_value, imm_label):
+        vm = context.current()
+        def with_addr(top, rest):
+            def with_value(second, rest2):
+                def do_store(address, addr_label, value, value_label, old):
+                    return vm.branch(
+                        self.store_allowed(addr_label, state.pc_lab, old[1]),
+                        lambda: self._mem_write(
+                            state, address,
+                            (value, self.store_label(
+                                value_label, addr_label,
+                                state.pc_lab, old[1])),
+                            lambda new_mem: state.replace(
+                                pc=ops.add(state.pc, 1),
+                                stack=rest2, mem=new_mem)),
+                        lambda: self._crash(state))
+                return self._data(
+                    top,
+                    lambda address, addr_label: self._data(
+                        second,
+                        lambda value, value_label: self._mem_read(
+                            state, address,
+                            lambda old: do_store(address, addr_label,
+                                                 value, value_label, old)),
+                        lambda: self._crash(state)),
+                    lambda: self._crash(state))
+            return self._pop(state.replace(stack=rest), with_value)
+        return self._pop(state, with_addr)
+
+    def add_label(self, label_a, label_b):
+        """The label of an Add result (B-family bugs target this join)."""
+        return ops.or_(label_a, label_b)
+
+    def rule_add(self, state, imm_value, imm_label):
+        def with_a(top, rest):
+            def with_b(second, rest2):
+                return self._data(
+                    top,
+                    lambda a, la: self._data(
+                        second,
+                        lambda b, lb: state.replace(
+                            pc=ops.add(state.pc, 1),
+                            stack=B.cons(
+                                entry(ops.add(a, b), self.add_label(la, lb)),
+                                rest2)),
+                        lambda: self._crash(state)),
+                    lambda: self._crash(state))
+            return self._pop(state.replace(stack=rest), with_b)
+        return self._pop(state, with_a)
+
+    def rule_halt(self, state, imm_value, imm_label):
+        return state.replace(halted=True)
+
+    def jump_pc_label(self, target_label, pc_label):
+        """The pc label after a jump (J-family bugs target this)."""
+        return ops.or_(target_label, pc_label)
+
+    def rule_jump(self, state, imm_value, imm_label):
+        def with_target(top, rest):
+            return self._data(
+                top,
+                lambda target, target_label: state.replace(
+                    pc=target,
+                    pc_lab=self.jump_pc_label(target_label, state.pc_lab),
+                    stack=rest),
+                lambda: self._crash(state))
+        return self._pop(state, with_target)
+
+    def call_frame_label(self, pc_label):
+        """The label stored in a call frame (CR bugs target this)."""
+        return pc_label
+
+    def call_pc_label(self, target_label, pc_label):
+        return ops.or_(target_label, pc_label)
+
+    def rule_call(self, state, imm_value, imm_label):
+        def with_target(top, rest):
+            return self._data(
+                top,
+                lambda target, target_label: state.replace(
+                    pc=target,
+                    pc_lab=self.call_pc_label(target_label, state.pc_lab),
+                    stack=B.cons(
+                        frame(ops.add(state.pc, 1),
+                              self.call_frame_label(state.pc_lab)),
+                        rest)),
+                lambda: self._crash(state))
+        return self._pop(state, with_target)
+
+    def return_pc_label(self, frame_label, pc_label):
+        """The pc label after Return (correct: restore the saved label)."""
+        return frame_label
+
+    def rule_return(self, state, imm_value, imm_label):
+        def with_top(top, rest):
+            vm = context.current()
+            return vm.branch(
+                B.equal(B.car(top), FRAME),
+                lambda: state.replace(
+                    pc=B.list_ref(top, 1),
+                    pc_lab=self.return_pc_label(B.list_ref(top, 2),
+                                                state.pc_lab),
+                    stack=rest),
+                lambda: self._crash(state))
+        return self._pop(state, with_top)
+
+    # -- the step function ----------------------------------------------
+
+    _RULES = {
+        NOOP: "rule_noop", PUSH: "rule_push", POP: "rule_pop",
+        LOAD: "rule_load", STORE: "rule_store", ADD: "rule_add",
+        HALT: "rule_halt", JUMP: "rule_jump", CALL: "rule_call",
+        RETURN: "rule_return",
+    }
+
+    def dispatch(self, state: MachineState, opcode, imm_value,
+                 imm_label) -> MachineState:
+        cases = [
+            (code, (lambda code=code: getattr(self, self._RULES[code])(
+                state, imm_value, imm_label)))
+            for code in self.opcodes
+        ]
+        return _switch(opcode, cases, lambda: self._crash(state))
+
+    def step(self, state: MachineState, program) -> MachineState:
+        """One machine step: fetch (pc may be symbolic) and dispatch.
+
+        `program` is a sequence of (opcode, imm_value, imm_label) triples.
+        Halted or crashed machines do not move.
+        """
+        vm = context.current()
+        def active():
+            def at(index: int):
+                if index == len(program):
+                    # Falling off the end of the program is a normal halt;
+                    # a pc strictly beyond it (a wild jump) is a crash.
+                    return vm.branch(
+                        ops.num_eq(state.pc, len(program)),
+                        lambda: state.replace(halted=True),
+                        lambda: self._crash(state))
+                opcode, imm_value, imm_label = program[index]
+                return vm.branch(ops.num_eq(state.pc, index),
+                                 lambda: self.dispatch(
+                                     state, opcode, imm_value, imm_label),
+                                 lambda: at(index + 1))
+            return at(0)
+        return vm.branch(ops.or_(ops.truthy(state.halted),
+                                 ops.truthy(state.crashed)),
+                         lambda: state, active)
+
+    def run(self, state: MachineState, program, steps: int) -> MachineState:
+        for _ in range(steps):
+            state = self.step(state, program)
+        return state

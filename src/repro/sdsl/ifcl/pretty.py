@@ -1,0 +1,74 @@
+"""Human-readable rendering of IFCL programs and machine states.
+
+Used by the examples and handy when debugging semantics: labels render as
+``@L``/``@H``, stack entries distinguish data from call frames, and
+symbolic fields fall back to their term representation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sym.values import SymBool, SymInt, Union
+from repro.sdsl.ifcl.machine import DATA, FRAME, OPCODES, MachineState
+
+
+def _label(value) -> str:
+    if value is True:
+        return "H"
+    if value is False:
+        return "L"
+    return f"?{value!r}"
+
+
+def _value(value) -> str:
+    if isinstance(value, (SymInt, SymBool)):
+        return repr(value)
+    return str(value)
+
+
+def render_cell(cell) -> str:
+    """A labeled value: ``3@L``."""
+    if isinstance(cell, Union):
+        return repr(cell)
+    value, label = cell
+    return f"{_value(value)}@{_label(label)}"
+
+
+def render_stack_entry(entry) -> str:
+    if isinstance(entry, Union):
+        return repr(entry)
+    tag = entry[0]
+    if tag == DATA or isinstance(tag, Union):
+        return render_cell((entry[1], entry[2]))
+    if tag == FRAME:
+        return f"ret({_value(entry[1])})@{_label(entry[2])}"
+    return repr(entry)
+
+
+def render_state(state: MachineState) -> str:
+    """A one-line summary of a machine state."""
+    if isinstance(state.stack, Union):
+        stack = repr(state.stack)
+    else:
+        stack = "[" + ", ".join(render_stack_entry(entry)
+                                for entry in state.stack) + "]"
+    if isinstance(state.mem, Union):
+        memory = repr(state.mem)
+    else:
+        memory = "[" + ", ".join(render_cell(cell)
+                                 for cell in state.mem) + "]"
+    status = "halted" if state.halted is True else \
+        ("crashed" if state.crashed is True else "running")
+    return (f"pc={_value(state.pc)}@{_label(state.pc_lab)} {status} "
+            f"stack={stack} mem={memory}")
+
+
+def render_program(instructions: Sequence) -> str:
+    """A concrete program, one instruction per line."""
+    lines = []
+    for index, (opcode, value, label) in enumerate(instructions):
+        mnemonic = OPCODES.get(opcode, f"op{opcode}") \
+            if isinstance(opcode, int) else repr(opcode)
+        lines.append(f"  {index}: {mnemonic} {_value(value)}@{_label(label)}")
+    return "\n".join(lines)

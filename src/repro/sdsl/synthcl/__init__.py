@@ -1,0 +1,37 @@
+"""SYNTHCL — an imperative SDSL for solver-aided OpenCL development (§5.1).
+
+SYNTHCL supports stepwise refinement of a sequential reference
+implementation into a vectorized data-parallel implementation. The SDSL
+provides:
+
+- :mod:`repro.sdsl.synthcl.types` — OpenCL-style scalar and short-vector
+  values (``int4`` etc.) with lane-wise operations;
+- :mod:`repro.sdsl.synthcl.runtime` — an abstract model of the OpenCL
+  runtime: host/device buffers, NDRange kernel launches, work-item ids,
+  and the implicit assertions that "no two kernel instances ever perform a
+  conflicting memory access";
+- :mod:`repro.sdsl.synthcl.programs` — the three benchmarks (Matrix
+  Multiplication, Sobel Filter, Fast Walsh Transform), each as a reference
+  implementation plus data-parallel and vectorized refinements, with
+  sketches for the synthesis queries;
+- :mod:`repro.sdsl.synthcl.bench` — the Table 1 benchmark definitions
+  (MM1v … FWT2s) with their query bounds.
+
+Floats are modeled as fixed-width integers: the evaluation's subject is the
+SVM (joins, unions, concrete evaluation of memory operations), which is
+representation-independent; see DESIGN.md.
+"""
+
+from repro.sdsl.synthcl.types import IntVec, int4, vec_add, vec_mul
+from repro.sdsl.synthcl.runtime import Buffer, CLRuntime, KernelRace
+from repro.sdsl.synthcl.bench import (
+    SYNTHCL_BENCHMARKS,
+    SynthClBenchmark,
+    run_benchmark,
+)
+
+__all__ = [
+    "IntVec", "int4", "vec_add", "vec_mul",
+    "Buffer", "CLRuntime", "KernelRace",
+    "SYNTHCL_BENCHMARKS", "SynthClBenchmark", "run_benchmark",
+]

@@ -1,0 +1,12 @@
+"""The three SYNTHCL benchmark programs of §5.1.
+
+Each module provides a sequential reference implementation, a series of
+data-parallel refinements (the paper derived 12 implementations across the
+three programs by stepwise refinement), and sketches for the synthesis
+queries. The verification harnesses check each refinement against the
+reference on all symbolic inputs within the query bounds of Table 1.
+"""
+
+from repro.sdsl.synthcl.programs import fwt, mm, sobel
+
+__all__ = ["fwt", "mm", "sobel"]

@@ -1,0 +1,145 @@
+"""Fast Walsh Transform (FWT) on arrays of 2^k numbers.
+
+The classic in-place butterfly network: ``lg n`` stages, each combining
+pairs ``(a, b) → (a + b, a - b)`` at stride 2^stage.
+
+- :func:`fwt_reference` — sequential host implementation;
+- :func:`fwt_parallel_v1` — one kernel launch per stage, one work item per
+  butterfly (the paper's FWT1);
+- :func:`fwt_parallel_v2` — fused: each work item processes its pair
+  through a register-resident two-stage block when possible (FWT2);
+- :func:`fwt_sketch` — butterfly with the combine operations as holes
+  (FWT1s/FWT2s): the synthesizer rediscovers the (+, −) butterfly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.sym import ops
+from repro.sdsl.synthcl.runtime import CLRuntime, WorkItemContext
+from repro.sdsl.synthcl.sketch import choice
+
+
+def fwt_reference(data: Sequence) -> Tuple:
+    """Sequential Walsh-Hadamard transform (size must be a power of two)."""
+    values = list(data)
+    size = len(values)
+    if size & (size - 1):
+        raise ValueError("FWT requires a power-of-two input size")
+    stride = 1
+    while stride < size:
+        for start in range(0, size, stride * 2):
+            for offset in range(stride):
+                i = start + offset
+                j = i + stride
+                a, b = values[i], values[j]
+                values[i] = ops.add(a, b)
+                values[j] = ops.sub(a, b)
+        stride *= 2
+    return tuple(values)
+
+
+def _butterfly_launch(data: Sequence, combine) -> Tuple:
+    """One kernel launch per stage; `combine(a, b) -> (top, bottom)`."""
+    size = len(data)
+    if size & (size - 1):
+        raise ValueError("FWT requires a power-of-two input size")
+    runtime = CLRuntime()
+    buf = runtime.buffer("data", data)
+    stride = 1
+    while stride < size:
+        def kernel(item: WorkItemContext, stride=stride):
+            gid = item.get_global_id()
+            block, offset = divmod(gid, stride)
+            i = block * stride * 2 + offset
+            j = i + stride
+            a = item.read(buf, i)
+            b = item.read(buf, j)
+            top, bottom = combine(a, b)
+            item.write(buf, i, top)
+            item.write(buf, j, bottom)
+        runtime.launch(kernel, size // 2)
+        stride *= 2
+    return buf.snapshot()
+
+
+def fwt_parallel_v1(data: Sequence) -> Tuple:
+    return _butterfly_launch(
+        data, lambda a, b: (ops.add(a, b), ops.sub(a, b)))
+
+
+def fwt_parallel_v2(data: Sequence) -> Tuple:
+    """Fused: pairs of stages processed in registers (fewer launches)."""
+    size = len(data)
+    if size & (size - 1):
+        raise ValueError("FWT requires a power-of-two input size")
+    if size < 4:
+        return fwt_parallel_v1(data)
+    runtime = CLRuntime()
+    buf = runtime.buffer("data", data)
+    stride = 1
+    while stride < size:
+        if stride * 2 < size:
+            # Fused double stage: each work item owns 4 elements.
+            def kernel(item: WorkItemContext, stride=stride):
+                gid = item.get_global_id()
+                block, offset = divmod(gid, stride)
+                base = block * stride * 4 + offset
+                i0, i1 = base, base + stride
+                i2, i3 = base + 2 * stride, base + 3 * stride
+                a = item.read(buf, i0)
+                b = item.read(buf, i1)
+                c = item.read(buf, i2)
+                d = item.read(buf, i3)
+                # Stage 1 within the block.
+                a, b = ops.add(a, b), ops.sub(a, b)
+                c, d = ops.add(c, d), ops.sub(c, d)
+                # Stage 2 across the halves.
+                item.write(buf, i0, ops.add(a, c))
+                item.write(buf, i1, ops.add(b, d))
+                item.write(buf, i2, ops.sub(a, c))
+                item.write(buf, i3, ops.sub(b, d))
+            runtime.launch(kernel, size // 4)
+            stride *= 4
+        else:
+            def kernel(item: WorkItemContext, stride=stride):
+                gid = item.get_global_id()
+                block, offset = divmod(gid, stride)
+                i = block * stride * 2 + offset
+                j = i + stride
+                a = item.read(buf, i)
+                b = item.read(buf, j)
+                item.write(buf, i, ops.add(a, b))
+                item.write(buf, j, ops.sub(a, b))
+            runtime.launch(kernel, size // 2)
+            stride *= 2
+    return buf.snapshot()
+
+
+def fwt_sketch(data: Sequence) -> Tuple:
+    """Butterfly with holes: each output picks among {a+b, a−b, b−a, a, b}.
+
+    The two operation holes are created once and shared by every butterfly
+    site (like the paper's ``choose``, whose define-symbolic selectors make
+    each occurrence pick the same expression every time it is evaluated),
+    so the synthesizer recovers a single uniform (a+b, a−b) butterfly.
+    """
+    from repro.vm import builtins as B
+
+    operations = [
+        lambda a, b: ops.add(a, b),
+        lambda a, b: ops.sub(a, b),
+        lambda a, b: ops.sub(b, a),
+        lambda a, b: a,
+        lambda a, b: b,
+    ]
+    # One union-of-procedures hole per butterfly output, shared by every
+    # butterfly site (rule AP2 applies each member under its guard).
+    top_op = choice(operations, "fwt_top")
+    bottom_op = choice(operations, "fwt_bot")
+
+    def combine(a, b):
+        return (B.apply_value(top_op, a, b), B.apply_value(bottom_op, a, b))
+
+    return _butterfly_launch(data, combine)

@@ -1,0 +1,126 @@
+"""Matrix Multiplication (MM): dot product of n×p and p×m matrices.
+
+Matrices are one-dimensional arrays in row-major order, as in the AMD APP
+SDK benchmark the paper starts from. Refinements:
+
+- :func:`mm_reference` — the sequential host implementation;
+- :func:`mm_parallel_v1` — first refinement: one work item per output
+  element, scalar accumulation (the paper's MM1);
+- :func:`mm_parallel_v2` — second refinement: vectorized accumulation in
+  lane-`V` chunks with a scalar tail (the paper's MM2);
+- :func:`mm_sketch` — the MM2 kernel with its index arithmetic replaced by
+  ``choice`` holes (the MM2s synthesis query).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.sym import ops
+from repro.sdsl.synthcl.runtime import CLRuntime, WorkItemContext
+from repro.sdsl.synthcl.sketch import choice
+from repro.sdsl.synthcl.types import IntVec
+
+VECTOR_WIDTH = 2
+
+
+def mm_reference(a: Sequence, b: Sequence, n: int, p: int, m: int) -> Tuple:
+    """Sequential row-major matrix product."""
+    out = []
+    for row in range(n):
+        for col in range(m):
+            total = 0
+            for k in range(p):
+                total = ops.add(total, ops.mul(a[row * p + k], b[k * m + col]))
+            out.append(total)
+    return tuple(out)
+
+
+def mm_parallel_v1(a: Sequence, b: Sequence, n: int, p: int, m: int) -> Tuple:
+    """One work item per output element; scalar accumulation."""
+    runtime = CLRuntime()
+    buf_a = runtime.buffer("A", a)
+    buf_b = runtime.buffer("B", b)
+    buf_c = runtime.buffer("C", [0] * (n * m))
+
+    def kernel(item: WorkItemContext):
+        gid = item.get_global_id()
+        row, col = divmod(gid, m)
+        total = 0
+        for k in range(p):
+            total = ops.add(total, ops.mul(item.read(buf_a, row * p + k),
+                                           item.read(buf_b, k * m + col)))
+        item.write(buf_c, gid, total)
+
+    runtime.launch(kernel, n * m)
+    return buf_c.snapshot()
+
+
+def mm_parallel_v2(a: Sequence, b: Sequence, n: int, p: int, m: int) -> Tuple:
+    """Vectorized accumulation: lane-V partial sums, then a horizontal add."""
+    runtime = CLRuntime()
+    buf_a = runtime.buffer("A", a)
+    buf_b = runtime.buffer("B", b)
+    buf_c = runtime.buffer("C", [0] * (n * m))
+    vec_chunks = p // VECTOR_WIDTH
+
+    def kernel(item: WorkItemContext):
+        gid = item.get_global_id()
+        row, col = divmod(gid, m)
+        acc = IntVec((0,) * VECTOR_WIDTH)
+        for chunk in range(vec_chunks):
+            base = chunk * VECTOR_WIDTH
+            lhs = IntVec(item.read(buf_a, row * p + base + lane)
+                         for lane in range(VECTOR_WIDTH))
+            rhs = IntVec(item.read(buf_b, (base + lane) * m + col)
+                         for lane in range(VECTOR_WIDTH))
+            acc = acc + lhs * rhs
+        total = acc.reduce_add()
+        for k in range(vec_chunks * VECTOR_WIDTH, p):  # scalar tail
+            total = ops.add(total, ops.mul(item.read(buf_a, row * p + k),
+                                           item.read(buf_b, k * m + col)))
+        item.write(buf_c, gid, total)
+
+    runtime.launch(kernel, n * m)
+    return buf_c.snapshot()
+
+
+def mm_sketch(a: Sequence, b: Sequence, n: int, p: int, m: int) -> Tuple:
+    """MM2 with holes in the index arithmetic (the MM2s query).
+
+    The correct strides (``row * p + k`` into A and ``k * m + col`` into B)
+    are replaced by choices among the plausible dimension constants; the
+    synthesizer must recover the row-major access pattern.
+    """
+    runtime = CLRuntime(check_races=False)  # holes make races symbolic
+    buf_a = runtime.buffer("A", a)
+    buf_b = runtime.buffer("B", b)
+    buf_c = runtime.buffer("C", [0] * (n * m))
+    # The holes range over candidate *index expressions* (closures), so the
+    # sketch value is a symbolic union of procedures applied per access —
+    # the union-heavy evaluation the paper reports for synthesis queries.
+    index_a_fn = choice([
+        lambda row, col, k: row * p + k,
+        lambda row, col, k: k * p + row,
+        lambda row, col, k: row * m + k,
+    ], "indexA")
+    index_b_fn = choice([
+        lambda row, col, k: k * m + col,
+        lambda row, col, k: col * m + k,
+        lambda row, col, k: k * p + col,
+    ], "indexB")
+    from repro.vm import builtins as B
+
+    def kernel(item: WorkItemContext):
+        gid = item.get_global_id()
+        row, col = divmod(gid, m)
+        total = 0
+        for k in range(p):
+            index_a = B.apply_value(index_a_fn, row, col, k)
+            index_b = B.apply_value(index_b_fn, row, col, k)
+            total = ops.add(total, ops.mul(item.read(buf_a, index_a),
+                                           item.read(buf_b, index_b)))
+        item.write(buf_c, gid, total)
+
+    runtime.launch(kernel, n * m)
+    return buf_c.snapshot()

@@ -1,0 +1,340 @@
+"""Sobel Filter (SF): edge detection on a w×h image with 4 color channels.
+
+The image is a flat array of w*h*4 integers (one integer per color
+component, as in the paper). The filter computes, per pixel and channel,
+``|Gx| + |Gy|`` of the 3×3 Sobel operator with replicate-at-edge boundary
+handling.
+
+Refinement chain (the paper derives seven SF implementations; SF6/SF7
+process only interior pixels and therefore require w,h ≥ 3 — which is why
+Table 1 gives them different bounds):
+
+- :func:`sobel_reference` — sequential host loop;
+- v1 — one work item per pixel (computes all 4 channels);
+- v2 — one work item per (pixel, channel);
+- v3 — v1 with hoisted neighbor indices;
+- v4 — unrolled taps, zero-coefficient reads elided;
+- v5 — strength-reduced gradient (shifts instead of multiplies);
+- v6 — interior-only kernel plus a host border pass (needs w,h ≥ 3);
+- v7 — interior-only and channel-vectorized with ``int4`` (needs w,h ≥ 3);
+- :func:`sobel_sketch` — v1 with the Sobel coefficients as holes (SF3s/SF7s).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.sym import ops
+from repro.vm import branch
+from repro.sdsl.synthcl.runtime import CLRuntime, WorkItemContext
+from repro.sdsl.synthcl.sketch import choice
+from repro.sdsl.synthcl.types import IntVec
+
+CHANNELS = 4
+
+GX = ((-1, 0, 1), (-2, 0, 2), (-1, 0, 1))
+GY = ((-1, -2, -1), (0, 0, 0), (1, 2, 1))
+
+
+def _iabs(value):
+    return branch(ops.lt(value, 0), lambda: ops.neg(value), lambda: value)
+
+
+def _clamp(value: int, low: int, high: int) -> int:
+    return max(low, min(high, value))
+
+
+def _pixel(image: Sequence, w: int, h: int, x: int, y: int, c: int):
+    """Replicate-at-edge pixel fetch (concrete coordinates)."""
+    x = _clamp(x, 0, w - 1)
+    y = _clamp(y, 0, h - 1)
+    return image[(y * w + x) * CHANNELS + c]
+
+
+def _gradient_at(image, w, h, x, y, c, gx=GX, gy=GY):
+    grad_x = 0
+    grad_y = 0
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            value = _pixel(image, w, h, x + dx, y + dy, c)
+            cx = gx[dy + 1][dx + 1]
+            cy = gy[dy + 1][dx + 1]
+            if cx:
+                grad_x = ops.add(grad_x, ops.mul(value, cx))
+            if cy:
+                grad_y = ops.add(grad_y, ops.mul(value, cy))
+    return ops.add(_iabs(grad_x), _iabs(grad_y))
+
+
+def sobel_reference(image: Sequence, w: int, h: int) -> Tuple:
+    out = []
+    for y in range(h):
+        for x in range(w):
+            for c in range(CHANNELS):
+                out.append(_gradient_at(image, w, h, x, y, c))
+    return tuple(out)
+
+
+def _launch_full(image, w, h, kernel_body) -> Tuple:
+    runtime = CLRuntime()
+    src = runtime.buffer("src", image)
+    dst = runtime.buffer("dst", [0] * (w * h * CHANNELS))
+    runtime.launch(lambda item: kernel_body(item, src, dst), w * h)
+    return dst.snapshot()
+
+
+def sobel_v1(image: Sequence, w: int, h: int) -> Tuple:
+    """One work item per pixel; scalar channels."""
+    def body(item: WorkItemContext, src, dst):
+        gid = item.get_global_id()
+        y, x = divmod(gid, w)
+        for c in range(CHANNELS):
+            grad_x = 0
+            grad_y = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    px = _clamp(x + dx, 0, w - 1)
+                    py = _clamp(y + dy, 0, h - 1)
+                    value = item.read(src, (py * w + px) * CHANNELS + c)
+                    if GX[dy + 1][dx + 1]:
+                        grad_x = ops.add(grad_x,
+                                         ops.mul(value, GX[dy + 1][dx + 1]))
+                    if GY[dy + 1][dx + 1]:
+                        grad_y = ops.add(grad_y,
+                                         ops.mul(value, GY[dy + 1][dx + 1]))
+            item.write(dst, gid * CHANNELS + c,
+                       ops.add(_iabs(grad_x), _iabs(grad_y)))
+    return _launch_full(image, w, h, body)
+
+
+def sobel_v2(image: Sequence, w: int, h: int) -> Tuple:
+    """One work item per (pixel, channel)."""
+    runtime = CLRuntime()
+    src = runtime.buffer("src", image)
+    dst = runtime.buffer("dst", [0] * (w * h * CHANNELS))
+
+    def kernel(item: WorkItemContext):
+        gid = item.get_global_id()
+        pixel, c = divmod(gid, CHANNELS)
+        y, x = divmod(pixel, w)
+        grad_x = 0
+        grad_y = 0
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                px = _clamp(x + dx, 0, w - 1)
+                py = _clamp(y + dy, 0, h - 1)
+                value = item.read(src, (py * w + px) * CHANNELS + c)
+                if GX[dy + 1][dx + 1]:
+                    grad_x = ops.add(grad_x, ops.mul(value, GX[dy + 1][dx + 1]))
+                if GY[dy + 1][dx + 1]:
+                    grad_y = ops.add(grad_y, ops.mul(value, GY[dy + 1][dx + 1]))
+        item.write(dst, gid, ops.add(_iabs(grad_x), _iabs(grad_y)))
+
+    runtime.launch(kernel, w * h * CHANNELS)
+    return dst.snapshot()
+
+
+def sobel_v3(image: Sequence, w: int, h: int) -> Tuple:
+    """v1 with neighbor offsets hoisted out of the channel loop."""
+    def body(item: WorkItemContext, src, dst):
+        gid = item.get_global_id()
+        y, x = divmod(gid, w)
+        offsets = {}
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                px = _clamp(x + dx, 0, w - 1)
+                py = _clamp(y + dy, 0, h - 1)
+                offsets[(dx, dy)] = (py * w + px) * CHANNELS
+        for c in range(CHANNELS):
+            grad_x = 0
+            grad_y = 0
+            for (dx, dy), base in offsets.items():
+                value = item.read(src, base + c)
+                if GX[dy + 1][dx + 1]:
+                    grad_x = ops.add(grad_x, ops.mul(value, GX[dy + 1][dx + 1]))
+                if GY[dy + 1][dx + 1]:
+                    grad_y = ops.add(grad_y, ops.mul(value, GY[dy + 1][dx + 1]))
+            item.write(dst, gid * CHANNELS + c,
+                       ops.add(_iabs(grad_x), _iabs(grad_y)))
+    return _launch_full(image, w, h, body)
+
+
+def sobel_v4(image: Sequence, w: int, h: int) -> Tuple:
+    """Fully unrolled taps: the six non-zero reads per gradient, explicit."""
+    def body(item: WorkItemContext, src, dst):
+        gid = item.get_global_id()
+        y, x = divmod(gid, w)
+        def fetch(dx, dy, c):
+            px = _clamp(x + dx, 0, w - 1)
+            py = _clamp(y + dy, 0, h - 1)
+            return item.read(src, (py * w + px) * CHANNELS + c)
+        for c in range(CHANNELS):
+            nw, n_, ne = fetch(-1, -1, c), fetch(0, -1, c), fetch(1, -1, c)
+            w_, e_ = fetch(-1, 0, c), fetch(1, 0, c)
+            sw, s_, se = fetch(-1, 1, c), fetch(0, 1, c), fetch(1, 1, c)
+            grad_x = ops.sub(
+                ops.add(ops.add(ne, se), ops.mul(e_, 2)),
+                ops.add(ops.add(nw, sw), ops.mul(w_, 2)))
+            grad_y = ops.sub(
+                ops.add(ops.add(sw, se), ops.mul(s_, 2)),
+                ops.add(ops.add(nw, ne), ops.mul(n_, 2)))
+            item.write(dst, gid * CHANNELS + c,
+                       ops.add(_iabs(grad_x), _iabs(grad_y)))
+    return _launch_full(image, w, h, body)
+
+
+def sobel_v5(image: Sequence, w: int, h: int) -> Tuple:
+    """v4 with the ×2 strength-reduced to an addition."""
+    def body(item: WorkItemContext, src, dst):
+        gid = item.get_global_id()
+        y, x = divmod(gid, w)
+        def fetch(dx, dy, c):
+            px = _clamp(x + dx, 0, w - 1)
+            py = _clamp(y + dy, 0, h - 1)
+            return item.read(src, (py * w + px) * CHANNELS + c)
+        for c in range(CHANNELS):
+            nw, n_, ne = fetch(-1, -1, c), fetch(0, -1, c), fetch(1, -1, c)
+            w_, e_ = fetch(-1, 0, c), fetch(1, 0, c)
+            sw, s_, se = fetch(-1, 1, c), fetch(0, 1, c), fetch(1, 1, c)
+            grad_x = ops.sub(ops.add(ops.add(ne, se), ops.add(e_, e_)),
+                             ops.add(ops.add(nw, sw), ops.add(w_, w_)))
+            grad_y = ops.sub(ops.add(ops.add(sw, se), ops.add(s_, s_)),
+                             ops.add(ops.add(nw, ne), ops.add(n_, n_)))
+            item.write(dst, gid * CHANNELS + c,
+                       ops.add(_iabs(grad_x), _iabs(grad_y)))
+    return _launch_full(image, w, h, body)
+
+
+def _interior_kernel(item: WorkItemContext, src, dst, w: int, h: int) -> None:
+    """Interior pixels only: no clamping (valid because 1 ≤ x,y < dim-1)."""
+    gid = item.get_global_id()
+    inner_w = w - 2
+    iy, ix = divmod(gid, inner_w)
+    x, y = ix + 1, iy + 1
+    for c in range(CHANNELS):
+        def fetch(dx, dy):
+            return item.read(src, ((y + dy) * w + (x + dx)) * CHANNELS + c)
+        nw, n_, ne = fetch(-1, -1), fetch(0, -1), fetch(1, -1)
+        w_, e_ = fetch(-1, 0), fetch(1, 0)
+        sw, s_, se = fetch(-1, 1), fetch(0, 1), fetch(1, 1)
+        grad_x = ops.sub(ops.add(ops.add(ne, se), ops.mul(e_, 2)),
+                         ops.add(ops.add(nw, sw), ops.mul(w_, 2)))
+        grad_y = ops.sub(ops.add(ops.add(sw, se), ops.mul(s_, 2)),
+                         ops.add(ops.add(nw, ne), ops.mul(n_, 2)))
+        item.write(dst, (y * w + x) * CHANNELS + c,
+                   ops.add(_iabs(grad_x), _iabs(grad_y)))
+
+
+def _border_pass(image, w: int, h: int, out: list) -> None:
+    """Host-side pass computing the border pixels (for v6/v7)."""
+    for y in range(h):
+        for x in range(w):
+            if 0 < x < w - 1 and 0 < y < h - 1:
+                continue
+            for c in range(CHANNELS):
+                out[(y * w + x) * CHANNELS + c] = \
+                    _gradient_at(image, w, h, x, y, c)
+
+
+def sobel_v6(image: Sequence, w: int, h: int) -> Tuple:
+    """Interior-only NDRange + host border pass. Requires w, h ≥ 3."""
+    if w < 3 or h < 3:
+        raise ValueError("sobel_v6 requires w, h >= 3")
+    runtime = CLRuntime()
+    src = runtime.buffer("src", image)
+    dst = runtime.buffer("dst", [0] * (w * h * CHANNELS))
+    runtime.launch(lambda item: _interior_kernel(item, src, dst, w, h),
+                   (w - 2) * (h - 2))
+    out = list(dst.snapshot())
+    _border_pass(image, w, h, out)
+    return tuple(out)
+
+
+def sobel_v7(image: Sequence, w: int, h: int) -> Tuple:
+    """Interior-only and channel-vectorized (int4). Requires w, h ≥ 3."""
+    if w < 3 or h < 3:
+        raise ValueError("sobel_v7 requires w, h >= 3")
+    runtime = CLRuntime()
+    src = runtime.buffer("src", image)
+    dst = runtime.buffer("dst", [0] * (w * h * CHANNELS))
+
+    def kernel(item: WorkItemContext):
+        gid = item.get_global_id()
+        inner_w = w - 2
+        iy, ix = divmod(gid, inner_w)
+        x, y = ix + 1, iy + 1
+        def fetch4(dx, dy) -> IntVec:
+            base = ((y + dy) * w + (x + dx)) * CHANNELS
+            return IntVec(item.read(src, base + c) for c in range(CHANNELS))
+        nw, n_, ne = fetch4(-1, -1), fetch4(0, -1), fetch4(1, -1)
+        w_, e_ = fetch4(-1, 0), fetch4(1, 0)
+        sw, s_, se = fetch4(-1, 1), fetch4(0, 1), fetch4(1, 1)
+        grad_x = (ne + se + e_ * 2) - (nw + sw + w_ * 2)
+        grad_y = (sw + se + s_ * 2) - (nw + ne + n_ * 2)
+        base = (y * w + x) * CHANNELS
+        for c in range(CHANNELS):
+            item.write(dst, base + c,
+                       ops.add(_iabs(grad_x[c]), _iabs(grad_y[c])))
+
+    runtime.launch(kernel, (w - 2) * (h - 2))
+    out = list(dst.snapshot())
+    _border_pass(image, w, h, out)
+    return tuple(out)
+
+
+def sobel_sketch(image: Sequence, w: int, h: int) -> Tuple:
+    """v1 with the non-zero Sobel column weights as holes (SF3s/SF7s).
+
+    The synthesizer must rediscover the (1, 2, 1) smoothing weights from
+    equivalence with the reference filter. The holes range over weighting
+    *closures* (like the MM/FWT sketches), so the sketch exercises
+    union-of-procedure application (rule AP2) — the union-heavy synthesis
+    evaluation the paper reports.
+    """
+    from repro.vm import builtins as B
+
+    weightings = [lambda v: v, lambda v: ops.mul(v, 2),
+                  lambda v: ops.mul(v, 3)]
+    side_fn = choice(weightings, "side")       # correct: identity (×1)
+    center_fn = choice(weightings, "center")   # correct: ×2
+
+    def weight_side(value):
+        return B.apply_value(side_fn, value)
+
+    def weight_center(value):
+        return B.apply_value(center_fn, value)
+
+    def body(item: WorkItemContext, src, dst):
+        gid = item.get_global_id()
+        y, x = divmod(gid, w)
+        def fetch(dx, dy, c):
+            px = _clamp(x + dx, 0, w - 1)
+            py = _clamp(y + dy, 0, h - 1)
+            return item.read(src, (py * w + px) * CHANNELS + c)
+        for c in range(CHANNELS):
+            nw, n_, ne = fetch(-1, -1, c), fetch(0, -1, c), fetch(1, -1, c)
+            w_, e_ = fetch(-1, 0, c), fetch(1, 0, c)
+            sw, s_, se = fetch(-1, 1, c), fetch(0, 1, c), fetch(1, 1, c)
+            grad_x = ops.sub(
+                ops.add(ops.add(weight_side(ne),
+                                weight_side(se)),
+                        weight_center(e_)),
+                ops.add(ops.add(weight_side(nw),
+                                weight_side(sw)),
+                        weight_center(w_)))
+            grad_y = ops.sub(
+                ops.add(ops.add(weight_side(sw),
+                                weight_side(se)),
+                        weight_center(s_)),
+                ops.add(ops.add(weight_side(nw),
+                                weight_side(ne)),
+                        weight_center(n_)))
+            item.write(dst, gid * CHANNELS + c,
+                       ops.add(_iabs(grad_x), _iabs(grad_y)))
+    return _launch_full(image, w, h, body)
+
+
+SOBEL_VERSIONS: Dict[int, Callable] = {
+    1: sobel_v1, 2: sobel_v2, 3: sobel_v3, 4: sobel_v4, 5: sobel_v5,
+    6: sobel_v6, 7: sobel_v7,
+}

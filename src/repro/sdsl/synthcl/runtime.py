@@ -1,0 +1,118 @@
+"""An abstract model of the OpenCL runtime for SYNTHCL.
+
+The model distinguishes *host* memory from (global) *device* memory
+(buffers), runs kernels over an NDRange of work-items, and — as the paper
+describes — "emits assertions to ensure that no two kernel instances ever
+perform a conflicting memory access" (§5.1). Kernel instances execute
+sequentially in the model (the memory-safety assertions are what make the
+parallel semantics sound), each with its own global id.
+
+Buffers are mutable :class:`~repro.vm.mutable.Vector` storage, so kernel
+writes merge correctly at SVM joins, and symbolic indices turn into
+conditional writes over every cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.sym import ops
+from repro.vm import assert_
+from repro.vm.errors import AssertionFailure
+from repro.vm.mutable import Vector
+
+
+class KernelRace(AssertionFailure):
+    """Raised when a definite conflicting access is detected at launch."""
+
+
+class Buffer:
+    """A global-memory buffer of (possibly symbolic) integers."""
+
+    def __init__(self, name: str, contents: Sequence):
+        self.name = name
+        self.storage = Vector(list(contents), name=name)
+
+    def __len__(self) -> int:
+        return len(self.storage)
+
+    def read(self, index):
+        return self.storage.ref(index)
+
+    def write(self, index, value) -> None:
+        self.storage.set(index, value)
+
+    def snapshot(self) -> tuple:
+        return self.storage.snapshot()
+
+    def __repr__(self):
+        return f"Buffer({self.name}, {len(self.storage)})"
+
+
+class WorkItemContext:
+    """Execution context of one kernel instance."""
+
+    def __init__(self, runtime: "CLRuntime", global_id: int):
+        self.runtime = runtime
+        self.global_id = global_id
+        # Access log: (buffer name, index value, is_write)
+        self.accesses: List[Tuple[str, object, bool]] = []
+
+    def get_global_id(self, dim: int = 0) -> int:
+        if dim != 0:
+            raise ValueError("the model supports 1-D NDRanges; linearize ids")
+        return self.global_id
+
+    def read(self, buffer: Buffer, index):
+        self.accesses.append((buffer.name, index, False))
+        return buffer.read(index)
+
+    def write(self, buffer: Buffer, index, value) -> None:
+        self.accesses.append((buffer.name, index, True))
+        buffer.write(index, value)
+
+
+class CLRuntime:
+    """Host-side runtime: buffer management and kernel launches."""
+
+    def __init__(self, check_races: bool = True):
+        self.check_races = check_races
+        self.buffers: Dict[str, Buffer] = {}
+
+    def buffer(self, name: str, contents: Sequence) -> Buffer:
+        buf = Buffer(name, contents)
+        self.buffers[name] = buf
+        return buf
+
+    def launch(self, kernel: Callable, global_size: int) -> None:
+        """Run `kernel(item)` for every work item in the NDRange.
+
+        After all instances run, the runtime asserts that no write by one
+        instance conflicts with a read or write of the same buffer cell by
+        another instance — the implicit memory-safety obligations that the
+        SYNTHCL verifier checks and the synthesizer enforces.
+        """
+        if global_size <= 0:
+            raise ValueError("global_size must be positive")
+        items = [WorkItemContext(self, gid) for gid in range(global_size)]
+        for item in items:
+            kernel(item)
+        if self.check_races:
+            self._assert_race_free(items)
+
+    def _assert_race_free(self, items: Sequence[WorkItemContext]) -> None:
+        for i, item_a in enumerate(items):
+            writes_a = [(buf, idx) for buf, idx, is_write in item_a.accesses
+                        if is_write]
+            if not writes_a:
+                continue
+            for item_b in items[i + 1:]:
+                for buf_a, idx_a in writes_a:
+                    for buf_b, idx_b, _ in item_b.accesses:
+                        if buf_a != buf_b:
+                            continue
+                        distinct = ops.not_(ops.num_eq(idx_a, idx_b))
+                        assert_(distinct,
+                                f"conflicting access to {buf_a} by work "
+                                f"items {item_a.global_id} and "
+                                f"{item_b.global_id}")

@@ -1,0 +1,37 @@
+"""Sketching constructs for SYNTHCL (the ``??``/``choose`` of Sketch [37]).
+
+``choice`` picks one of a fixed set of expressions using fresh symbolic
+selector booleans (the same construction as the host language's ``choose``
+macro, §2.2); ``hole`` is an unconstrained symbolic constant. Both produce
+values whose defining symbolic constants are *holes* for the CEGIS
+synthesizer: anything not listed as a query input is existentially
+quantified.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sym import fresh_bool, fresh_int
+from repro.sym.merge import merge
+
+
+def hole(name: str = "hole"):
+    """An integer hole: the synthesizer picks its value."""
+    return fresh_int(name)
+
+
+def choice(options: Sequence, name: str = "choice"):
+    """A hole ranging over the given (already evaluated) options.
+
+    Implemented exactly like the paper's ``choose``: n-1 fresh booleans
+    select among n options via merging, so the result is a single symbolic
+    value (or a union if options have mixed shapes).
+    """
+    options = list(options)
+    if not options:
+        raise ValueError("choice requires at least one option")
+    result = options[-1]
+    for option in reversed(options[:-1]):
+        result = merge(fresh_bool(name), option, result)
+    return result

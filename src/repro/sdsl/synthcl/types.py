@@ -1,0 +1,83 @@
+"""OpenCL-style scalar and short-vector types for SYNTHCL.
+
+Vectors (``int2``/``int4``/…) are immutable fixed-length tuples of scalar
+values wrapped in :class:`IntVec`; operations are lane-wise. Under the SVM
+a vector of symbolic scalars is just a concrete tuple whose elements are
+terms — structural merging (Fig. 9) keeps vectors concrete across joins,
+which is why the SYNTHCL verification benchmarks run with zero unions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sym import ops
+
+
+class IntVec:
+    """A fixed-width vector of (possibly symbolic) integers."""
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes: Iterable):
+        self.lanes = tuple(lanes)
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+    def __iter__(self):
+        return iter(self.lanes)
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def __getitem__(self, index: int):
+        return self.lanes[index]
+
+    def _zip(self, other, fn: Callable):
+        other_lanes = other.lanes if isinstance(other, IntVec) \
+            else (other,) * len(self.lanes)
+        if len(other_lanes) != len(self.lanes):
+            raise ValueError("vector width mismatch")
+        return IntVec(fn(a, b) for a, b in zip(self.lanes, other_lanes))
+
+    def __add__(self, other):
+        return self._zip(other, ops.add)
+
+    def __sub__(self, other):
+        return self._zip(other, ops.sub)
+
+    def __mul__(self, other):
+        return self._zip(other, ops.mul)
+
+    # Type-driven merging: vectors of equal width merge lane-wise.
+    def __sym_class_key__(self):
+        return ("intvec", len(self.lanes))
+
+    def __sym_merge__(self, guard, other: "IntVec"):
+        from repro.sym.merge import merge
+        return IntVec(merge(guard, a, b)
+                      for a, b in zip(self.lanes, other.lanes))
+
+    def reduce_add(self):
+        """Horizontal sum of the lanes (OpenCL's dot-product building block)."""
+        total = self.lanes[0]
+        for lane in self.lanes[1:]:
+            total = ops.add(total, lane)
+        return total
+
+    def __repr__(self):
+        return f"int{len(self.lanes)}{self.lanes!r}"
+
+
+def int4(a, b, c, d) -> IntVec:
+    return IntVec((a, b, c, d))
+
+
+def vec_add(a: IntVec, b: IntVec) -> IntVec:
+    return a + b
+
+
+def vec_mul(a: IntVec, b: IntVec) -> IntVec:
+    return a * b

@@ -1,0 +1,31 @@
+"""WEBSYNTH — example-based web scraping by XPath synthesis (§5.1).
+
+Given an HTML tree and a few examples of the data to be scraped, WEBSYNTH
+synthesizes an XPath expression that retrieves the data. The synthesizer
+checks that every example datum is reached when a recursive XPath
+interpreter traverses the tree according to a *symbolic* XPath — a list of
+symbolic token indices. The interpreter is self-finitizing with respect to
+the tree: recursion unwinds exactly as deep as the (concrete) tree.
+
+The paper scrapes three real sites (iTunes, IMDb, AlAnon). Real pages are
+unavailable offline, so :mod:`repro.sdsl.websynth.sites` generates
+synthetic trees matching the paper's reported shape statistics (Table 2:
+node count, depth, XPath token count) — the quantities that determine the
+query's cost.
+"""
+
+from repro.sdsl.websynth.tree import HtmlNode, tree_depth, tree_size
+from repro.sdsl.websynth.xpath import (
+    SymbolicXPath,
+    concrete_matches,
+    xpath_selects,
+)
+from repro.sdsl.websynth.sites import SiteSpec, SITE_SPECS, generate_site
+from repro.sdsl.websynth.synth import WebSynthResult, synthesize_xpath
+
+__all__ = [
+    "HtmlNode", "tree_depth", "tree_size",
+    "SymbolicXPath", "concrete_matches", "xpath_selects",
+    "SiteSpec", "SITE_SPECS", "generate_site",
+    "WebSynthResult", "synthesize_xpath",
+]

@@ -1,0 +1,113 @@
+"""Synthetic website generator matched to the paper's Table 2 shapes.
+
+The paper's WEBSYNTH benchmarks scrape three real pages; their reported
+query bounds are the page's *shape* statistics — the number of tree nodes,
+the tree depth, and the number of XPath tokens — because those are what
+determine the size of the symbolic evaluation. This module deterministically
+generates trees with prescribed shape, plants a column of data records at a
+fixed tag path (so a correct XPath exists), and records four of them as the
+user-supplied examples.
+
+``SITE_SPECS`` carries both the paper's shape numbers and a scaled-down
+default used by the tests (the benchmarks accept a ``scale``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sdsl.websynth.tree import HtmlNode
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Shape statistics of one benchmark page (Table 2)."""
+
+    name: str
+    nodes: int          # of tree nodes
+    depth: int          # tree depth
+    tokens: int         # of XPath tokens
+    paper_nodes: int
+    paper_depth: int
+    paper_tokens: int
+
+
+# The paper's Table 2: iTunes 1104/10/150, IMDb 2152/20/359, AlAnon 2002/22/161.
+SITE_SPECS: Tuple[SiteSpec, ...] = (
+    SiteSpec("iTunes", nodes=1104, depth=10, tokens=150,
+             paper_nodes=1104, paper_depth=10, paper_tokens=150),
+    SiteSpec("IMDb", nodes=2152, depth=20, tokens=359,
+             paper_nodes=2152, paper_depth=20, paper_tokens=359),
+    SiteSpec("AlAnon", nodes=2002, depth=22, tokens=161,
+             paper_nodes=2002, paper_depth=22, paper_tokens=161),
+)
+
+
+def _scaled(spec: SiteSpec, scale: float) -> SiteSpec:
+    if scale >= 1.0:
+        return spec
+    return SiteSpec(
+        spec.name,
+        nodes=max(16, int(spec.nodes * scale)),
+        depth=max(4, int(spec.depth * max(scale * 2, 0.3))),
+        tokens=max(8, int(spec.tokens * scale)),
+        paper_nodes=spec.paper_nodes, paper_depth=spec.paper_depth,
+        paper_tokens=spec.paper_tokens)
+
+
+def generate_site(spec: SiteSpec, scale: float = 1.0,
+                  examples: int = 4, seed: int = 7):
+    """Build a synthetic page for `spec`.
+
+    Returns ``(root, data_path, example_texts)`` where `data_path` is the
+    tag path (root-exclusive) at which data records live — the ground
+    truth the synthesizer should rediscover — and `example_texts` are the
+    texts of `examples` of the records.
+    """
+    spec = _scaled(spec, scale)
+    rng = random.Random(seed)
+    tags = [f"t{index}" for index in range(spec.tokens)]
+
+    # The data column: a distinctive path of depth-1 tags under the root.
+    data_path = [tags[rng.randrange(len(tags))] for _ in range(spec.depth - 1)]
+
+    # The record container: nested single chain following data_path, whose
+    # last level holds the records (one leaf per record).
+    record_count = max(examples * 2, 8)
+    records = tuple(
+        HtmlNode(data_path[-1], text=f"datum-{index}")
+        for index in range(record_count))
+    column = records
+    for tag in reversed(data_path[:-1]):
+        column = (HtmlNode(tag, children=column),)
+    data_subtree = column[0]
+
+    budget = spec.nodes - _size(data_subtree) - 1
+
+    # Random filler around the data column, respecting the depth budget.
+    def build_filler(levels_left: int) -> HtmlNode:
+        nonlocal budget
+        tag = tags[rng.randrange(len(tags))]
+        children: List[HtmlNode] = []
+        while budget > 0 and levels_left > 1 and \
+                len(children) < 4 and rng.random() < 0.7:
+            budget -= 1
+            children.append(build_filler(levels_left - 1))
+        if not children and rng.random() < 0.4:
+            return HtmlNode(tag, text=f"noise-{rng.randrange(10_000)}")
+        return HtmlNode(tag, children=tuple(children))
+
+    siblings: List[HtmlNode] = [data_subtree]
+    while budget > 0:
+        budget -= 1
+        siblings.insert(rng.randrange(len(siblings) + 1),
+                        build_filler(spec.depth - 1))
+    root = HtmlNode("root", children=tuple(siblings))
+    example_texts = [f"datum-{index}" for index in range(examples)]
+    return root, data_path, example_texts
+
+
+def _size(node: HtmlNode) -> int:
+    return 1 + sum(_size(child) for child in node.children)

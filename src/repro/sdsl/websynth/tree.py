@@ -1,0 +1,62 @@
+"""HTML document trees for WEBSYNTH.
+
+A deliberately small DOM: every node has a tag, an optional text payload
+(only at leaves, where scraped data lives), and a tuple of children. Trees
+are immutable and always concrete — only the XPath being synthesized is
+symbolic, which is why the WEBSYNTH rows of Table 4 report zero unions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+
+class HtmlNode:
+    """One element of an HTML tree."""
+
+    __slots__ = ("tag", "text", "children")
+
+    def __init__(self, tag: str, children: Tuple["HtmlNode", ...] = (),
+                 text: Optional[str] = None):
+        self.tag = tag
+        self.children = tuple(children)
+        self.text = text
+
+    def walk(self) -> Iterator["HtmlNode"]:
+        """All nodes in document order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def texts(self) -> Iterator[str]:
+        for node in self.walk():
+            if node.text is not None:
+                yield node.text
+
+    def __repr__(self) -> str:
+        label = f"{self.tag}"
+        if self.text is not None:
+            label += f"={self.text!r}"
+        return f"<{label} ({len(self.children)} children)>"
+
+
+def tree_size(root: HtmlNode) -> int:
+    return sum(1 for _ in root.walk())
+
+
+def tree_depth(root: HtmlNode) -> int:
+    if not root.children:
+        return 1
+    return 1 + max(tree_depth(child) for child in root.children)
+
+
+def render_html(root: HtmlNode, indent: int = 0) -> str:
+    """Pretty-print the tree as pseudo-HTML (docs and examples)."""
+    pad = "  " * indent
+    if root.text is not None and not root.children:
+        return f"{pad}<{root.tag}>{root.text}</{root.tag}>"
+    lines = [f"{pad}<{root.tag}>"]
+    for child in root.children:
+        lines.append(render_html(child, indent + 1))
+    lines.append(f"{pad}</{root.tag}>")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""SMT-LIB 2 export of term-level formulas.
+
+The SVM never needs this (it owns its solver), but a production library
+should interoperate: `to_smtlib` renders an assertion set as a complete
+SMT-LIB 2 script in QF_BV that stock solvers (z3, cvc5, boolector) accept
+verbatim. Shared subterms are let-bound so scripts stay linear in DAG
+size, mirroring the encoding the bit-blaster consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.smt import terms as T
+
+_OP_NAMES = {
+    T.OP_NOT: "not", T.OP_AND: "and", T.OP_OR: "or", T.OP_XOR: "xor",
+    T.OP_EQ: "=", T.OP_ITE: "ite",
+    T.OP_ULT: "bvult", T.OP_ULE: "bvule",
+    T.OP_SLT: "bvslt", T.OP_SLE: "bvsle",
+    T.OP_ADD: "bvadd", T.OP_SUB: "bvsub", T.OP_MUL: "bvmul",
+    T.OP_UDIV: "bvudiv", T.OP_UREM: "bvurem",
+    T.OP_SDIV: "bvsdiv", T.OP_SREM: "bvsrem", T.OP_SMOD: "bvsmod",
+    T.OP_NEG: "bvneg", T.OP_BVAND: "bvand", T.OP_BVOR: "bvor",
+    T.OP_BVXOR: "bvxor", T.OP_BVNOT: "bvnot",
+    T.OP_SHL: "bvshl", T.OP_LSHR: "bvlshr", T.OP_ASHR: "bvashr",
+}
+
+
+def _sanitize(name: str) -> str:
+    """SMT-LIB simple symbols: quote anything with special characters."""
+    if name and all(ch.isalnum() or ch in "_.$@" for ch in name):
+        return name
+    escaped = name.replace("|", "")
+    return f"|{escaped}|"
+
+
+def declare_sort(term: T.Term) -> str:
+    return "Bool" if term.sort is T.BOOL else f"(_ BitVec {term.width})"
+
+
+def to_smtlib(assertions: Sequence[T.Term], logic: str = "QF_BV",
+              check_sat: bool = True, get_model: bool = False) -> str:
+    """Render assertions as a complete SMT-LIB 2 script."""
+    lines: List[str] = [f"(set-logic {logic})"]
+
+    # Declarations for every variable leaf.
+    declared = set()
+    for assertion in assertions:
+        for node in T.postorder(assertion):
+            if node.is_var and node not in declared:
+                declared.add(node)
+                lines.append(
+                    f"(declare-const {_sanitize(str(node.payload))} "
+                    f"{declare_sort(node)})")
+
+    # Count references to find shared internal nodes worth let-binding.
+    references: Dict[T.Term, int] = {}
+    for assertion in assertions:
+        seen_here = set()
+        stack = [assertion]
+        while stack:
+            node = stack.pop()
+            references[node] = references.get(node, 0) + 1
+            if node not in seen_here:
+                seen_here.add(node)
+                stack.extend(node.args)
+
+    names: Dict[T.Term, str] = {}
+    definitions: List[str] = []
+    counter = [0]
+
+    def render(node: T.Term) -> str:
+        if node in names:
+            return names[node]
+        if node is T.TRUE:
+            return "true"
+        if node is T.FALSE:
+            return "false"
+        if node.op == T.OP_BV_CONST:
+            return f"(_ bv{node.const_value()} {node.width})"
+        if node.is_var:
+            return _sanitize(str(node.payload))
+        rendered_args = " ".join(render(arg) for arg in node.args)
+        body = f"({_OP_NAMES[node.op]} {rendered_args})"
+        if references.get(node, 0) > 1 and node.args:
+            counter[0] += 1
+            name = f".t{counter[0]}"
+            definitions.append(
+                f"(define-fun {name} () {declare_sort(node)} {body})")
+            names[node] = name
+            return name
+        return body
+
+    assertion_lines = [f"(assert {render(a)})" for a in assertions]
+    lines.extend(definitions)
+    lines.extend(assertion_lines)
+    if check_sat:
+        lines.append("(check-sat)")
+    if get_model:
+        lines.append("(get-model)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,168 @@
+"""SMT solver facade: check-sat, models, and minimized unsat cores.
+
+This is the component the SVM's queries talk to in place of Z3. A
+:class:`SmtSolver` owns a fresh SAT instance; assertions are boolean terms
+and `check` may additionally be given *assumption* terms. When the result is
+UNSAT under assumptions, :meth:`unsat_core` reports which assumptions were
+used, and :meth:`minimize_core` shrinks that set to a minimal one by
+deletion — this implements the paper's minimal-unsatisfiable-core `debug`
+query (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.smt import terms as T
+from repro.smt.bitblast import BitBlaster
+from repro.solver.sat import SatResult, SatSolver
+
+
+class SmtResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying interpretation of the symbolic constants.
+
+    Maps variable *terms* to Python values (bool for booleans, unsigned int
+    for bitvectors). Variables absent from the encoding default to
+    ``False`` / ``0``.
+    """
+
+    def __init__(self, bindings: Dict[T.Term, object]):
+        self._bindings = dict(bindings)
+
+    def __getitem__(self, var_term: T.Term):
+        if var_term in self._bindings:
+            return self._bindings[var_term]
+        if var_term.sort is T.BOOL:
+            return False
+        return 0
+
+    def __contains__(self, var_term: T.Term) -> bool:
+        return var_term in self._bindings
+
+    def bindings(self) -> Dict[T.Term, object]:
+        return dict(self._bindings)
+
+    def evaluate(self, term: T.Term):
+        """Evaluate an arbitrary term under this model."""
+        return T.evaluate(term, self._bindings)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{var.payload}={value}" for var, value in
+            sorted(self._bindings.items(), key=lambda kv: str(kv[0].payload)))
+        return f"Model({entries})"
+
+
+class SmtSolver:
+    """One-shot satisfiability checks for boolean/bitvector formulas."""
+
+    def __init__(self, max_conflicts: Optional[int] = None):
+        self.sat = SatSolver()
+        self.sat.max_conflicts = max_conflicts
+        self.blaster = BitBlaster(self.sat)
+        self._assertions: List[T.Term] = []
+        self._assumption_lits: Dict[T.Term, int] = {}
+        self._last_core: List[T.Term] = []
+        self._last_result: Optional[SmtResult] = None
+
+    # ------------------------------------------------------------------
+
+    def add_assertion(self, term: T.Term) -> None:
+        """Permanently assert a boolean term."""
+        if term.sort is not T.BOOL:
+            raise TypeError(f"assertions must be boolean: {term!r}")
+        self._assertions.append(term)
+        self.blaster.assert_term(term)
+
+    def add_assertions(self, terms: Iterable[T.Term]) -> None:
+        for term in terms:
+            self.add_assertion(term)
+
+    def _assumption_lit(self, term: T.Term) -> int:
+        lit = self._assumption_lits.get(term)
+        if lit is None:
+            lit = self.blaster.lit_of(term)
+            self._assumption_lits[term] = lit
+        return lit
+
+    def check(self, assumptions: Sequence[T.Term] = ()) -> SmtResult:
+        """Decide satisfiability of the assertions plus assumptions."""
+        self._last_core = []
+        # Fast path: a constant-false assertion or assumption.
+        if any(term is T.FALSE for term in self._assertions):
+            self._last_result = SmtResult.UNSAT
+            self._last_core = [t for t in assumptions]
+            return SmtResult.UNSAT
+        lits = []
+        lit_to_term: Dict[int, T.Term] = {}
+        for term in assumptions:
+            if term is T.TRUE:
+                continue
+            if term is T.FALSE:
+                self._last_core = [term]
+                self._last_result = SmtResult.UNSAT
+                return SmtResult.UNSAT
+            lit = self._assumption_lit(term)
+            lits.append(lit)
+            lit_to_term[lit] = term
+        result = self.sat.solve(lits)
+        if result is SatResult.SAT:
+            self._last_result = SmtResult.SAT
+            return SmtResult.SAT
+        if result is SatResult.UNKNOWN:
+            self._last_result = SmtResult.UNKNOWN
+            return SmtResult.UNKNOWN
+        core_lits = self.sat.unsat_core()
+        self._last_core = [lit_to_term[lit] for lit in core_lits
+                           if lit in lit_to_term]
+        self._last_result = SmtResult.UNSAT
+        return SmtResult.UNSAT
+
+    # ------------------------------------------------------------------
+
+    def model(self, variables: Iterable[T.Term] = ()) -> Model:
+        """Extract the satisfying assignment for the given variables.
+
+        With no explicit variable list, all variables that reached the
+        bit-blaster are reported.
+        """
+        if self._last_result is not SmtResult.SAT:
+            raise RuntimeError("model() requires a previous SAT result")
+        bindings: Dict[T.Term, object] = {}
+        targets = list(variables)
+        if not targets:
+            targets = list(self.blaster._bool_vars) + list(self.blaster._bv_vars)
+        for var in targets:
+            bindings[var] = self.blaster.model_value(var)
+        return Model(bindings)
+
+    def unsat_core(self) -> List[T.Term]:
+        """Assumption terms involved in the last UNSAT answer."""
+        return list(self._last_core)
+
+    def minimize_core(self, core: Optional[Sequence[T.Term]] = None) -> List[T.Term]:
+        """Deletion-minimize an unsat core of assumptions.
+
+        The result is *minimal*: dropping any single element makes the
+        remaining assumptions satisfiable together with the assertions.
+        """
+        current = list(self._last_core if core is None else core)
+        i = 0
+        while i < len(current):
+            trial = current[:i] + current[i + 1:]
+            if self.check(trial) is SmtResult.UNSAT:
+                # The i-th element is redundant; the new core is `trial`'s.
+                refined = self.unsat_core()
+                current = [t for t in trial if t in set(refined)] or trial
+            else:
+                i += 1
+        # Leave solver state consistent with the minimized core.
+        self.check(current)
+        return current

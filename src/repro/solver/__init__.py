@@ -1,0 +1,19 @@
+"""Boolean satisfiability substrate.
+
+A from-scratch CDCL SAT solver with:
+
+- two-watched-literal unit propagation,
+- first-UIP conflict-driven clause learning,
+- VSIDS-style variable activity with phase saving,
+- Luby restarts and learned-clause database reduction,
+- solving under assumptions with final-conflict unsat cores,
+- deletion-based core minimization.
+
+The paper uses Z3; this package is the drop-in satisfiability engine that
+the bitvector layer (:mod:`repro.smt`) bit-blasts into.
+"""
+
+from repro.solver.cnf import CNF, parse_dimacs, to_dimacs
+from repro.solver.sat import SatSolver, SatResult
+
+__all__ = ["CNF", "SatSolver", "SatResult", "parse_dimacs", "to_dimacs"]

@@ -1,0 +1,77 @@
+"""CNF formula container and DIMACS serialization.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..n``; a literal is ``+v`` (positive) or ``-v`` (negated). Clause lists
+are plain Python lists of such ints, which keeps the hot solver loops free
+of object overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class CNF:
+    """A conjunction of clauses over integer-numbered variables."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause, growing the variable count if needed."""
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            var = abs(lit)
+            if var > self.num_vars:
+                self.num_vars = var
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def to_dimacs(cnf: CNF) -> str:
+    """Render a :class:`CNF` in DIMACS ``cnf`` format."""
+    lines = [f"p cnf {cnf.num_vars} {len(cnf.clauses)}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS ``cnf`` text into a :class:`CNF`."""
+    cnf = CNF()
+    declared_vars = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        lits = [int(tok) for tok in line.split()]
+        if lits and lits[-1] == 0:
+            lits = lits[:-1]
+        if lits:
+            cnf.add_clause(lits)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf

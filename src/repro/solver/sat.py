@@ -1,0 +1,649 @@
+"""A CDCL SAT solver.
+
+The implementation follows the MiniSat architecture: two-watched-literal
+propagation, first-UIP clause learning with recursive clause minimization,
+VSIDS variable activities with phase saving, Luby restarts, and activity-based
+learned-clause deletion. Solving under *assumptions* is supported, and when
+the instance is unsatisfiable under assumptions the solver reports the subset
+of assumptions used in the final conflict (an unsat core).
+
+Variables are integers ``1..n`` externally (DIMACS convention) and literals
+are signed ints. Internally literals are encoded as ``2*v`` (positive) and
+``2*v + 1`` (negative) over zero-based variables, so negation is ``lit ^ 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SatResult(enum.Enum):
+    """Outcome of a :meth:`SatSolver.solve` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class _Clause:
+    """A disjunction of internal literals; the first two are watched."""
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence.
+
+    Follows the MiniSat formulation: find the finite subsequence containing
+    index i and the position within it.
+    """
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+_UNASSIGNED = -1
+
+
+class SatSolver:
+    """Conflict-driven clause-learning SAT solver.
+
+    Typical use::
+
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve() is SatResult.SAT
+        assert solver.model_value(b) is True
+    """
+
+    def __init__(self):
+        self._num_vars = 0
+        # Per-variable state.
+        self._assigns: List[int] = []      # _UNASSIGNED / 0 (false) / 1 (true)
+        self._level: List[int] = []        # decision level of assignment
+        self._reason: List[Optional[_Clause]] = []
+        self._activity: List[float] = []
+        self._polarity: List[int] = []     # saved phase: 0 false, 1 true
+        self._seen: List[int] = []         # scratch for conflict analysis
+        # Per-literal state (internal encoding).
+        self._watches: List[List[_Clause]] = []
+        # Trail.
+        self._trail: List[int] = []        # internal literals, in order
+        self._trail_lim: List[int] = []    # trail index at each decision level
+        self._qhead = 0
+        # Clause database.
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        # Heuristics.
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._order: List[int] = []        # lazy max-activity queue (heap)
+        self._order_pos: Dict[int, int] = {}
+        # Results.
+        self._ok = True                    # False once a toplevel conflict
+        self._model: Optional[List[int]] = None
+        self._conflict_core: List[int] = []
+        # Statistics.
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+        self.max_conflicts: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its external (1-based) index."""
+        self._num_vars += 1
+        self._assigns.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(0)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        var = self._num_vars - 1
+        self._heap_insert(var)
+        return self._num_vars
+
+    def _ensure_vars(self, ext_lits: Iterable[int]) -> None:
+        top = max((abs(lit) for lit in ext_lits), default=0)
+        while self._num_vars < top:
+            self.new_var()
+
+    @staticmethod
+    def _to_internal(ext_lit: int) -> int:
+        if ext_lit > 0:
+            return (ext_lit - 1) << 1
+        return ((-ext_lit - 1) << 1) | 1
+
+    @staticmethod
+    def _to_external(int_lit: int) -> int:
+        var = (int_lit >> 1) + 1
+        return -var if int_lit & 1 else var
+
+    def add_clause(self, ext_lits: Sequence[int]) -> bool:
+        """Add a clause of external literals.
+
+        Returns False if the solver is already in a toplevel-conflict state
+        or the clause is trivially unsatisfiable at level 0.
+        """
+        if not self._ok:
+            return False
+        self._ensure_vars(ext_lits)
+        lits = [self._to_internal(lit) for lit in ext_lits]
+        # Remove duplicates; drop tautologies.
+        lits = sorted(set(lits))
+        out: List[int] = []
+        for lit in lits:
+            if lit ^ 1 in out:
+                return True  # tautology: x | ~x
+            value = self._lit_value(lit)
+            if value == 1 and self._level[lit >> 1] == 0:
+                return True  # already satisfied at toplevel
+            if value == 0 and self._level[lit >> 1] == 0:
+                continue     # already falsified at toplevel: drop literal
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if self._decision_level() != 0:
+                raise RuntimeError("unit clauses must be added at level 0")
+            if not self._enqueue(out[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        clause = _Clause(out, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # Core machinery
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        """Value of an internal literal: 0/1 or _UNASSIGNED."""
+        assign = self._assigns[lit >> 1]
+        if assign == _UNASSIGNED:
+            return _UNASSIGNED
+        return assign ^ (lit & 1)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0] ^ 1].append(clause)
+        self._watches[clause.lits[1] ^ 1].append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(lit)
+        if value != _UNASSIGNED:
+            return value == 1
+        var = lit >> 1
+        self._assigns[var] = 1 - (lit & 1)
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None.
+
+        This is the solver's hot loop: instance attributes are cached in
+        locals and the unit-assignment path of ``_enqueue`` is inlined.
+        """
+        watches = self._watches
+        assigns = self._assigns
+        levels = self._level
+        reasons = self._reason
+        trail = self._trail
+        decision_level = len(self._trail_lim)
+        qhead = self._qhead
+        processed = 0
+        try:
+            while qhead < len(trail):
+                lit = trail[qhead]
+                qhead += 1
+                processed += 1
+                false_lit = lit ^ 1
+                watchlist = watches[lit]
+                new_watchlist: List[_Clause] = []
+                append_watch = new_watchlist.append
+                i = 0
+                n = len(watchlist)
+                while i < n:
+                    clause = watchlist[i]
+                    i += 1
+                    lits = clause.lits
+                    # Normalize: make sure the false literal is lits[1].
+                    if lits[0] == false_lit:
+                        lits[0] = lits[1]
+                        lits[1] = false_lit
+                    first = lits[0]
+                    # If the other watch is true, the clause is satisfied.
+                    value0 = assigns[first >> 1]
+                    if value0 >= 0 and (value0 ^ (first & 1)) == 1:
+                        append_watch(clause)
+                        continue
+                    # Look for a new literal to watch.
+                    found = False
+                    for k in range(2, len(lits)):
+                        other = lits[k]
+                        other_value = assigns[other >> 1]
+                        if other_value < 0 or \
+                                (other_value ^ (other & 1)) == 1:
+                            lits[1] = other
+                            lits[k] = false_lit
+                            watches[other ^ 1].append(clause)
+                            found = True
+                            break
+                    if found:
+                        continue
+                    # Clause is unit or conflicting under lits[0].
+                    append_watch(clause)
+                    if value0 >= 0:  # lits[0] is false: conflict
+                        new_watchlist.extend(watchlist[i:])
+                        watches[lit] = new_watchlist
+                        qhead = len(trail)
+                        return clause
+                    # Inlined _enqueue of an unassigned literal.
+                    var = first >> 1
+                    assigns[var] = 1 - (first & 1)
+                    levels[var] = decision_level
+                    reasons[var] = clause
+                    trail.append(first)
+                watches[lit] = new_watchlist
+            return None
+        finally:
+            self._qhead = qhead
+            self.num_propagations += processed
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, confl: _Clause) -> tuple[List[int], int]:
+        """First-UIP analysis; returns (learnt clause, backtrack level)."""
+        seen = self._seen
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        counter = 0
+        lit = -1
+        index = len(self._trail) - 1
+        clause: Optional[_Clause] = confl
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 0 if lit == -1 else 1
+            for k in range(start, len(clause.lits)):
+                q = clause.lits[k]
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if self._level[var] == self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Select the next trail literal to expand.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = lit >> 1
+            clause = self._reason[var]
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            # Put the conflicting side of `lit` at position 0 of its reason
+            # clause when expanding (reason clauses store it first already).
+        learnt[0] = lit ^ 1
+
+        # Clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for q in learnt[1:]:
+            abstract_levels |= 1 << (self._level[q >> 1] & 31)
+        self._min_clear: List[int] = []
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if self._reason[q >> 1] is None or not self._lit_redundant(q, abstract_levels):
+                minimized.append(q)
+        for var in self._min_clear:
+            seen[var] = 0
+        for q in learnt:
+            seen[q >> 1] = 0
+        learnt = minimized
+
+        # Compute backtrack level: second-highest level in the clause.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if self._level[learnt[k] >> 1] > self._level[learnt[max_i] >> 1]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self._level[learnt[1] >> 1]
+        return learnt, bt_level
+
+    def _lit_redundant(self, lit: int, abstract_levels: int) -> bool:
+        """True if `lit` is implied by other literals in the learnt clause."""
+        seen = self._seen
+        stack = [lit]
+        top = len(self._min_clear)
+        while stack:
+            p = stack.pop()
+            reason = self._reason[p >> 1]
+            assert reason is not None
+            for q in reason.lits[1:]:
+                var = q >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                if self._reason[var] is None or \
+                        not ((1 << (self._level[var] & 31)) & abstract_levels):
+                    for cleared in self._min_clear[top:]:
+                        seen[cleared] = 0
+                    del self._min_clear[top:]
+                    return False
+                seen[var] = 1
+                self._min_clear.append(var)
+                stack.append(q)
+        # Marks set here persist so later redundancy checks can reuse them;
+        # the caller clears everything recorded in _min_clear afterwards.
+        return True
+
+    def _analyze_final(self, lit: int) -> List[int]:
+        """Compute the assumptions responsible for the failing assumption `lit`.
+
+        Called when assumption `lit` is found already falsified: walks the
+        implication graph of ``~lit`` back to assumption decisions. Returns
+        the unsat core as external literals, phrased as the assumptions were
+        given (including `lit` itself).
+        """
+        core = [self._to_external(lit)]
+        if self._decision_level() == 0:
+            return core
+        seen = self._seen
+        seen[lit >> 1] = 1
+        for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            trail_lit = self._trail[index]
+            var = trail_lit >> 1
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                # A decision in the assumption prefix: part of the core.
+                if trail_lit != lit:
+                    core.append(self._to_external(trail_lit))
+            else:
+                for q in reason.lits[1:]:
+                    if self._level[q >> 1] > 0:
+                        seen[q >> 1] = 1
+            seen[var] = 0
+        seen[lit >> 1] = 0
+        return core
+
+    # ------------------------------------------------------------------
+    # Activity heap
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(self._num_vars):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+        if var in self._order_pos:
+            self._heap_up(self._order_pos[var])
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _heap_insert(self, var: int) -> None:
+        if var in self._order_pos:
+            return
+        self._order.append(var)
+        pos = len(self._order) - 1
+        self._order_pos[var] = pos
+        self._heap_up(pos)
+
+    def _heap_up(self, pos: int) -> None:
+        order, order_pos, activity = self._order, self._order_pos, self._activity
+        var = order[pos]
+        act = activity[var]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pvar = order[parent]
+            if activity[pvar] >= act:
+                break
+            order[pos] = pvar
+            order_pos[pvar] = pos
+            pos = parent
+        order[pos] = var
+        order_pos[var] = pos
+
+    def _heap_down(self, pos: int) -> None:
+        order, order_pos, activity = self._order, self._order_pos, self._activity
+        size = len(order)
+        var = order[pos]
+        act = activity[var]
+        while True:
+            left = 2 * pos + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and activity[order[right]] > activity[order[left]]:
+                best = right
+            bvar = order[best]
+            if activity[bvar] <= act:
+                break
+            order[pos] = bvar
+            order_pos[bvar] = pos
+            pos = best
+        order[pos] = var
+        order_pos[var] = pos
+
+    def _heap_pop(self) -> Optional[int]:
+        order, order_pos = self._order, self._order_pos
+        while order:
+            top = order[0]
+            last = order.pop()
+            del order_pos[top]
+            if order:
+                order[0] = last
+                order_pos[last] = 0
+                self._heap_down(0)
+            if self._assigns[top] == _UNASSIGNED:
+                return top
+        return None
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for index in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[index]
+            var = lit >> 1
+            self._polarity[var] = self._assigns[var]
+            self._assigns[var] = _UNASSIGNED
+            self._reason[var] = None
+            self._heap_insert(var)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        locked = set()
+        for var in range(self._num_vars):
+            reason = self._reason[var]
+            if reason is not None and reason.learnt:
+                locked.add(id(reason))
+        kept: List[_Clause] = []
+        for i, clause in enumerate(self._learnts):
+            if i >= keep_from or id(clause) in locked or len(clause.lits) == 2:
+                kept.append(clause)
+            else:
+                self._detach(clause)
+        self._learnts = kept
+
+    def _detach(self, clause: _Clause) -> None:
+        for watch_lit in (clause.lits[0] ^ 1, clause.lits[1] ^ 1):
+            watchlist = self._watches[watch_lit]
+            for i, other in enumerate(watchlist):
+                if other is clause:
+                    watchlist[i] = watchlist[-1]
+                    watchlist.pop()
+                    break
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve under the given external assumption literals."""
+        self._model = None
+        self._conflict_core = []
+        if not self._ok:
+            return SatResult.UNSAT
+        self._ensure_vars(assumptions)
+        internal_assumptions = [self._to_internal(lit) for lit in assumptions]
+
+        max_learnts = max(1000, len(self._clauses) // 3)
+        restart_index = 0
+        conflicts_at_start = self.num_conflicts
+
+        while True:
+            restart_index += 1
+            budget = 100 * _luby(restart_index)
+            status = self._search(internal_assumptions, budget, max_learnts)
+            if status is not None:
+                self._cancel_until(0)
+                return status
+            if self.max_conflicts is not None and \
+                    self.num_conflicts - conflicts_at_start >= self.max_conflicts:
+                self._cancel_until(0)
+                return SatResult.UNKNOWN
+            max_learnts = int(max_learnts * 1.1)
+            self._cancel_until(0)
+
+    def _search(self, assumptions: List[int], budget: int,
+                max_learnts: int) -> Optional[SatResult]:
+        conflicts = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.num_conflicts += 1
+                conflicts += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return SatResult.UNSAT
+                learnt, bt_level = self._analyze(confl)
+                # Never backtrack past still-valid assumption decisions:
+                # re-deciding them is handled below, so plain backjump works.
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return SatResult.UNSAT
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= self._cla_decay
+                continue
+
+            if conflicts >= budget:
+                return None  # restart
+            if self.max_conflicts is not None and conflicts >= self.max_conflicts:
+                return None
+            if len(self._learnts) >= max_learnts + len(self._trail):
+                self._reduce_db()
+
+            # Decide: assumptions first, then VSIDS.
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._lit_value(lit)
+                if value == 1:
+                    # Already implied: open an empty decision level for it.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == 0:
+                    self._conflict_core = self._analyze_final(lit)
+                    return SatResult.UNSAT
+                self.num_decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+
+            var = self._heap_pop()
+            if var is None:
+                self._model = list(self._assigns)
+                return SatResult.SAT
+            self.num_decisions += 1
+            lit = (var << 1) | (1 - self._polarity[var])
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def model_value(self, ext_var: int) -> Optional[bool]:
+        """Truth value of a variable in the last satisfying assignment."""
+        if self._model is None:
+            return None
+        value = self._model[ext_var - 1]
+        if value == _UNASSIGNED:
+            return None
+        return bool(value)
+
+    def model(self) -> Dict[int, bool]:
+        """The last satisfying assignment as a dict (unassigned vars True)."""
+        return {
+            var + 1: (value == 1)
+            for var, value in enumerate(self._model or [])
+        }
+
+    def unsat_core(self) -> List[int]:
+        """Assumption literals involved in the last final conflict.
+
+        Meaningful only after :meth:`solve` returned UNSAT under non-empty
+        assumptions; empty if the problem is unsatisfiable regardless of
+        assumptions.
+        """
+        return list(self._conflict_core)

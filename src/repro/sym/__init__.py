@@ -1,0 +1,37 @@
+"""Symbolic values for the solver-aided host language.
+
+This package implements the paper's value universe (§4.2):
+
+- *primitive* symbolic values — :class:`~repro.sym.values.SymBool` and
+  :class:`~repro.sym.values.SymInt` — which wrap boolean/bitvector terms and
+  are merged **logically** (with ``ite``),
+- **symbolic unions** (:class:`~repro.sym.values.Union`) — sets of guarded
+  concrete values with pairwise-disjoint guards, used to merge values of
+  different shapes, and
+- the type-driven merging function µ of Figure 9
+  (:func:`~repro.sym.merge.merge`).
+
+Concrete Python values (``bool``, ``int``, tuples for immutable lists,
+strings, …) flow through untouched: every operation folds to a concrete
+result when its operands are concrete, which is what lets the SVM strip
+away unlifted host constructs.
+"""
+
+from repro.sym.values import (
+    Box,
+    SymBool,
+    SymInt,
+    Union,
+    default_int_width,
+    set_default_int_width,
+)
+from repro.sym.fresh import FreshStream, fresh_bool, fresh_int, reset_fresh_names
+from repro.sym.merge import merge, merge_many
+from repro.sym import ops
+
+__all__ = [
+    "Box", "SymBool", "SymInt", "Union",
+    "default_int_width", "set_default_int_width",
+    "FreshStream", "fresh_bool", "fresh_int", "reset_fresh_names",
+    "merge", "merge_many", "ops",
+]

@@ -1,0 +1,71 @@
+"""Symbolic constant factories: the paper's ``define-symbolic[*]``.
+
+``fresh_bool``/``fresh_int`` create brand-new symbolic constants. A
+:class:`FreshStream` models ``define-symbolic*``: every call draws the next
+constant from a named stream (``y$0``, ``y$1``, …), while re-using a plain
+``fresh_*`` constant with the same name returns the *same* constant — the
+``define-symbolic`` behaviour demonstrated in §2.2's static/dynamic example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.smt import terms as T
+from repro.sym.values import SymBool, SymInt, default_int_width
+
+_counters: Dict[str, int] = {}
+
+
+def reset_fresh_names() -> None:
+    """Forget all stream counters (use between independent queries)."""
+    _counters.clear()
+
+
+def _numbered(name: str) -> str:
+    index = _counters.get(name, 0)
+    _counters[name] = index + 1
+    return f"{name}${index}"
+
+
+def fresh_bool(name: str = "b", numbered: bool = True) -> SymBool:
+    """A fresh symbolic boolean constant.
+
+    With ``numbered=False`` the name is used verbatim, so two calls with the
+    same name denote the same constant (``define-symbolic``); the default
+    draws from a numbered stream (``define-symbolic*``).
+    """
+    return SymBool(T.bool_var(_numbered(name) if numbered else name))
+
+
+def fresh_int(name: str = "i", width: Optional[int] = None,
+              numbered: bool = True) -> SymInt:
+    """A fresh symbolic integer constant of the given (or default) width."""
+    return SymInt(T.bv_var(_numbered(name) if numbered else name,
+                           width or default_int_width()))
+
+
+class FreshStream:
+    """An explicit ``define-symbolic*`` stream bound to one name."""
+
+    def __init__(self, name: str, width: Optional[int] = None,
+                 kind: str = "int"):
+        if kind not in ("int", "bool"):
+            raise ValueError("kind must be 'int' or 'bool'")
+        self.name = name
+        self.width = width
+        self.kind = kind
+        self._index = 0
+
+    def next(self):
+        label = f"{self.name}${self._index}"
+        self._index += 1
+        if self.kind == "bool":
+            return SymBool(T.bool_var(label))
+        return SymInt(T.bv_var(label, self.width or default_int_width()))
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return self.next()

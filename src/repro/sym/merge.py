@@ -1,0 +1,281 @@
+"""The type-driven state-merging function µ of Figure 9.
+
+``merge(cond, u, v)`` combines the values computed by two branches of a
+conditional into a single value that equals `u` when `cond` holds and `v`
+otherwise. The strategy is the paper's:
+
+- values of the same *primitive* class (booleans, integers) merge
+  **logically** into an ``ite`` term;
+- immutable lists (Python tuples) of the same length merge **structurally**,
+  element by element;
+- pointer-like values (mutable boxes, procedures) merge only when they are
+  the same object, which soundly tracks aliasing;
+- anything else merges into a **symbolic union** of guarded values, with at
+  most one member per value class.
+
+``merge_many`` is the n-way generalization used to reassemble the results of
+applying a lifted operation to every member of a union (rule CO1 / AP2).
+
+User-defined immutable datatypes can opt into structural merging by
+implementing ``__sym_class_key__()`` (a hashable class key: two values merge
+structurally iff their keys are equal) and ``__sym_merge__(guard, other)``
+(returning the merged value given a guard *term*). The IFCL machine states
+use this, mirroring the paper's "direct evaluation and merging rules for
+user-defined record types" (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt import terms as T
+from repro.sym.values import (
+    SymInt,
+    Union,
+    bool_term,
+    default_int_width,
+    is_boolean_value,
+    is_integer_value,
+    wrap_bool,
+    wrap_int,
+)
+
+_ATOM_TYPES = (str, bytes, type(None))
+
+# Merge strategy. "type-driven" is the paper's µ (Fig. 9). "logical" keeps
+# the logical merging of primitives (and field-wise merging of records,
+# which evaluators rely on for their own state) but disables the structural
+# merging of *lists* — every list merge makes a union entry, one per
+# incoming path — which models how bounded model checking loses
+# concrete-evaluation opportunities on data structures (§3.3). The
+# baselines package flips this to quantify what type-driven merging buys.
+_STRUCTURAL = True
+
+
+class merge_strategy:
+    """Context manager selecting the merge strategy ("type-driven"/"logical")."""
+
+    def __init__(self, name: str):
+        if name not in ("type-driven", "logical"):
+            raise ValueError(f"unknown merge strategy {name!r}")
+        self.structural = name == "type-driven"
+        self._saved: Optional[bool] = None
+
+    def __enter__(self):
+        global _STRUCTURAL
+        self._saved = _STRUCTURAL
+        _STRUCTURAL = self.structural
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _STRUCTURAL
+        _STRUCTURAL = self._saved
+
+
+def class_key(value) -> Tuple:
+    """The value-class of Figure 9's ≈ relation, as a hashable key."""
+    if isinstance(value, Union):
+        raise TypeError("unions have no value class; flatten them first")
+    if is_boolean_value(value):
+        return ("bool",)
+    if is_integer_value(value):
+        return ("int",)
+    if isinstance(value, tuple):
+        if not _STRUCTURAL:
+            return ("ptr", id(value))
+        return ("list", len(value))
+    if isinstance(value, _ATOM_TYPES):
+        return ("atom", type(value).__name__, value)
+    custom = getattr(value, "__sym_class_key__", None)
+    if custom is not None:
+        return ("record", type(value).__name__, custom())
+    # Everything else is pointer-like: boxes, procedures, closures.
+    return ("ptr", id(value))
+
+
+def _int_width(u, v) -> int:
+    if isinstance(u, SymInt):
+        return u.width
+    if isinstance(v, SymInt):
+        return v.width
+    return default_int_width()
+
+
+def _merge_same_class(guard: T.Term, u, v):
+    """Merge two same-class non-union values under a guard term."""
+    if u is v:
+        return u
+    if is_boolean_value(u):
+        return wrap_bool(T.mk_ite(guard, bool_term(u), bool_term(v)))
+    if is_integer_value(u):
+        width = _int_width(u, v)
+        u_term = u.term if isinstance(u, SymInt) else T.bv_const(u, width)
+        v_term = v.term if isinstance(v, SymInt) else T.bv_const(v, width)
+        return wrap_int(T.mk_ite(guard, u_term, v_term))
+    if isinstance(u, tuple):
+        return tuple(_merge_guarded(guard, x, y) for x, y in zip(u, v))
+    if isinstance(u, _ATOM_TYPES):
+        return u  # class keys equal implies the atoms are equal
+    custom = getattr(u, "__sym_merge__", None)
+    if custom is not None:
+        return custom(guard, v)
+    return u  # pointer class: keys equal implies identity
+
+
+def _merge_guarded(guard: T.Term, u, v):
+    """µ with the condition already lowered to a boolean term."""
+    if guard is T.TRUE:
+        return u
+    if guard is T.FALSE:
+        return v
+    if u is v:
+        return u
+    u_is_union = isinstance(u, Union)
+    v_is_union = isinstance(v, Union)
+    if not u_is_union and not v_is_union:
+        if class_key(u) == class_key(v):
+            return _merge_same_class(guard, u, v)
+        return Union(((guard, u), (T.mk_not(guard), v)))
+    if not u_is_union and v_is_union:
+        return _merge_guarded(T.mk_not(guard), v, u)
+    if u_is_union and not v_is_union:
+        v_key = class_key(v)
+        matched = False
+        entries: List[Tuple[T.Term, object]] = []
+        for entry_guard, entry_value in u.entries:
+            if not matched and class_key(entry_value) == v_key:
+                # µ's seventh case: fold v into the matching member; the
+                # member is taken when guard∧entry_guard, v when ¬guard.
+                merged = _merge_same_class(guard, entry_value, v)
+                entries.append((T.mk_implies(guard, entry_guard), merged))
+                matched = True
+            else:
+                entries.append((T.mk_and(guard, entry_guard), entry_value))
+        if not matched:
+            entries.append((T.mk_not(guard), v))
+        return Union(entries)
+    # Both unions: merge member-wise by class.
+    not_guard = T.mk_not(guard)
+    v_by_class: Dict[Tuple, Tuple[T.Term, object]] = {}
+    for entry_guard, entry_value in v.entries:
+        v_by_class.setdefault(class_key(entry_value),
+                              (entry_guard, entry_value))
+    used = set()
+    entries = []
+    for entry_guard, entry_value in u.entries:
+        key = class_key(entry_value)
+        match = v_by_class.get(key)
+        if match is not None and key not in used:
+            used.add(key)
+            other_guard, other_value = match
+            combined = T.mk_or(T.mk_and(guard, entry_guard),
+                               T.mk_and(not_guard, other_guard))
+            entries.append(
+                (combined, _merge_same_class(guard, entry_value, other_value)))
+        else:
+            entries.append((T.mk_and(guard, entry_guard), entry_value))
+    for entry_guard, entry_value in v.entries:
+        if class_key(entry_value) not in used:
+            entries.append((T.mk_and(not_guard, entry_guard), entry_value))
+    return Union(entries)
+
+
+def merge(cond, u, v):
+    """Figure 9's µ(b, u, v): `u` when `cond` holds, `v` otherwise.
+
+    `cond` may be a Python bool, a :class:`SymBool`, or a boolean term.
+    """
+    if isinstance(cond, T.Term):
+        guard = cond
+    else:
+        guard = bool_term(cond)
+    return _merge_guarded(guard, u, v)
+
+
+def _flatten(entries) -> List[Tuple[T.Term, object]]:
+    flat: List[Tuple[T.Term, object]] = []
+    for guard, value in entries:
+        if not isinstance(guard, T.Term):
+            guard = bool_term(guard)
+        if guard is T.FALSE:
+            continue
+        if isinstance(value, Union):
+            for inner_guard, inner_value in value.entries:
+                combined = T.mk_and(guard, inner_guard)
+                if combined is not T.FALSE:
+                    flat.append((combined, inner_value))
+        else:
+            flat.append((guard, value))
+    return flat
+
+
+def _merge_class_members(members: Sequence[Tuple[T.Term, object]]):
+    """n-way merge of same-class values; the last member is the default."""
+    if len(members) == 1:
+        return members[0][1]
+    sample = members[0][1]
+    if is_boolean_value(sample):
+        result = bool_term(members[-1][1])
+        for guard, value in reversed(members[:-1]):
+            result = T.mk_ite(guard, bool_term(value), result)
+        return wrap_bool(result)
+    if is_integer_value(sample):
+        width = next((v.width for _, v in members if isinstance(v, SymInt)),
+                     default_int_width())
+        result = _as_int_term(members[-1][1], width)
+        for guard, value in reversed(members[:-1]):
+            result = T.mk_ite(guard, _as_int_term(value, width), result)
+        return wrap_int(result)
+    if isinstance(sample, tuple):
+        # Element positions may hold mixed-class values (and even unions),
+        # so each position goes through the general n-way merge.
+        length = len(sample)
+        return tuple(
+            merge_many([(g, v[i]) for g, v in members])
+            for i in range(length))
+    custom = getattr(sample, "__sym_merge__", None)
+    if custom is not None:
+        result = members[-1][1]
+        for guard, value in reversed(members[:-1]):
+            merge_fn = getattr(value, "__sym_merge__")
+            result = merge_fn(guard, result)
+        return result
+    return sample  # atoms / pointers: all members identical
+
+
+def _as_int_term(value, width: int) -> T.Term:
+    if isinstance(value, SymInt):
+        return value.term
+    return T.bv_const(value, width)
+
+
+def merge_many(entries) -> object:
+    """Merge guarded values into one value (generalized µ; rules CO1/AP2).
+
+    `entries` is a sequence of ``(guard, value)`` pairs with pairwise
+    disjoint guards, at least one of which must hold in any interpretation
+    the caller considers feasible (the caller is responsible for asserting
+    coverage, as rule CO1 does). Returns a single value: concrete, symbolic
+    primitive, or union.
+    """
+    flat = _flatten(entries)
+    if not flat:
+        raise ValueError("merge_many requires at least one feasible entry")
+    if len(flat) == 1:
+        return flat[0][1]
+    groups: Dict[Tuple, List[Tuple[T.Term, object]]] = {}
+    order: List[Tuple] = []
+    for guard, value in flat:
+        key = class_key(value)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((guard, value))
+    if len(order) == 1:
+        return _merge_class_members(groups[order[0]])
+    union_entries = []
+    for key in order:
+        members = groups[key]
+        combined_guard = T.mk_or(*(guard for guard, _ in members))
+        union_entries.append((combined_guard, _merge_class_members(members)))
+    return Union(union_entries)

@@ -1,0 +1,284 @@
+"""Lifted primitive operations on concrete-or-symbolic values.
+
+These are the building blocks of the SVM's lifted builtin library. Each
+operation accepts plain Python values and/or symbolic wrappers, folds to a
+concrete result when every operand is concrete, and otherwise builds a
+term. Union arguments are *not* handled here — union unpacking (rule CO1)
+is the VM's job (:mod:`repro.vm.builtins`), keeping this module dependency-
+free and easy to test exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.smt import terms as T
+from repro.sym.values import (
+    SymInt,
+    Union,
+    bool_term,
+    default_int_width,
+    int_term,
+    is_boolean_value,
+    is_integer_value,
+    wrap_bool,
+    wrap_int,
+)
+
+
+def _both_concrete_int(a, b) -> bool:
+    return isinstance(a, int) and not isinstance(a, bool) and \
+        isinstance(b, int) and not isinstance(b, bool)
+
+
+def _width_of(a, b) -> int:
+    if isinstance(a, SymInt):
+        return a.width
+    if isinstance(b, SymInt):
+        return b.width
+    return default_int_width()
+
+
+def _wrap_signed(value: int, width: int) -> int:
+    """Normalize a concrete result into the signed range of `width` bits."""
+    return T.to_signed(value & ((1 << width) - 1), width)
+
+
+def _arith(a, b, concrete: Callable[[int, int], int], mk) -> object:
+    if not is_integer_value(a) or not is_integer_value(b):
+        raise TypeError(f"expected integers, got {a!r} and {b!r}")
+    width = _width_of(a, b)
+    if _both_concrete_int(a, b):
+        return _wrap_signed(concrete(a, b), width)
+    return wrap_int(mk(int_term(a, width), int_term(b, width)))
+
+
+def add(a, b):
+    return _arith(a, b, lambda x, y: x + y, T.mk_add)
+
+
+def sub(a, b):
+    return _arith(a, b, lambda x, y: x - y, T.mk_sub)
+
+
+def mul(a, b):
+    return _arith(a, b, lambda x, y: x * y, T.mk_mul)
+
+
+def _concrete_sdiv(x: int, y: int) -> int:
+    if y == 0:
+        raise ZeroDivisionError("division by zero")
+    quotient = abs(x) // abs(y)
+    return quotient if (x < 0) == (y < 0) else -quotient
+
+
+def _concrete_srem(x: int, y: int) -> int:
+    if y == 0:
+        raise ZeroDivisionError("remainder by zero")
+    magnitude = abs(x) % abs(y)
+    return magnitude if x >= 0 else -magnitude
+
+
+def div(a, b):
+    """Truncating signed division (Scheme's quotient; SMT-LIB bvsdiv)."""
+    return _arith(a, b, _concrete_sdiv, T.mk_sdiv)
+
+
+def rem(a, b):
+    """Signed remainder with the dividend's sign (Scheme's remainder)."""
+    return _arith(a, b, _concrete_srem, T.mk_srem)
+
+
+def modulo(a, b):
+    """Modulus with the divisor's sign (Scheme's modulo; SMT-LIB bvsmod)."""
+    def concrete(x: int, y: int) -> int:
+        if y == 0:
+            raise ZeroDivisionError("modulo by zero")
+        return x % y
+    return _arith(a, b, concrete, T.mk_smod)
+
+
+def neg(a):
+    if not is_integer_value(a):
+        raise TypeError(f"expected an integer, got {a!r}")
+    if isinstance(a, int):
+        return _wrap_signed(-a, default_int_width())
+    return wrap_int(T.mk_neg(a.term))
+
+
+def bitand(a, b):
+    return _arith(a, b, lambda x, y: x & y, T.mk_bvand)
+
+
+def bitor(a, b):
+    return _arith(a, b, lambda x, y: x | y, T.mk_bvor)
+
+
+def bitxor(a, b):
+    return _arith(a, b, lambda x, y: x ^ y, T.mk_bvxor)
+
+
+def bitnot(a):
+    if not is_integer_value(a):
+        raise TypeError(f"expected an integer, got {a!r}")
+    if isinstance(a, int):
+        return _wrap_signed(~a, default_int_width())
+    return wrap_int(T.mk_bvnot(a.term))
+
+
+def shl(a, b):
+    def concrete(x: int, y: int) -> int:
+        width = _width_of(a, b)
+        return x << y if 0 <= y < width else 0
+    return _arith(a, b, concrete, T.mk_shl)
+
+
+def lshr(a, b):
+    """Logical right shift (operates on the unsigned representation)."""
+    def concrete(x: int, y: int) -> int:
+        width = _width_of(a, b)
+        unsigned = x & ((1 << width) - 1)
+        return unsigned >> y if 0 <= y < width else 0
+    return _arith(a, b, concrete, T.mk_lshr)
+
+
+def ashr(a, b):
+    def concrete(x: int, y: int) -> int:
+        width = _width_of(a, b)
+        return x >> min(y, width - 1) if y >= 0 else 0
+    return _arith(a, b, concrete, T.mk_ashr)
+
+
+def _compare(a, b, concrete: Callable[[int, int], bool], mk) -> object:
+    if not is_integer_value(a) or not is_integer_value(b):
+        raise TypeError(f"expected integers, got {a!r} and {b!r}")
+    if _both_concrete_int(a, b):
+        return concrete(a, b)
+    width = _width_of(a, b)
+    return wrap_bool(mk(int_term(a, width), int_term(b, width)))
+
+
+def lt(a, b):
+    return _compare(a, b, lambda x, y: x < y, T.mk_slt)
+
+
+def le(a, b):
+    return _compare(a, b, lambda x, y: x <= y, T.mk_sle)
+
+
+def gt(a, b):
+    return lt(b, a)
+
+
+def ge(a, b):
+    return le(b, a)
+
+
+def num_eq(a, b):
+    return _compare(a, b, lambda x, y: x == y, T.mk_eq)
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+def not_(a):
+    if not is_boolean_value(a):
+        raise TypeError(f"expected a boolean, got {a!r}")
+    if isinstance(a, bool):
+        return not a
+    return wrap_bool(T.mk_not(a.term))
+
+
+def and_(*values):
+    terms = []
+    for value in values:
+        if not is_boolean_value(value):
+            raise TypeError(f"expected a boolean, got {value!r}")
+        if value is False:
+            return False
+        if value is True:
+            continue
+        terms.append(value.term)
+    if not terms:
+        return True
+    return wrap_bool(T.mk_and(*terms))
+
+
+def or_(*values):
+    terms = []
+    for value in values:
+        if not is_boolean_value(value):
+            raise TypeError(f"expected a boolean, got {value!r}")
+        if value is True:
+            return True
+        if value is False:
+            continue
+        terms.append(value.term)
+    if not terms:
+        return False
+    return wrap_bool(T.mk_or(*terms))
+
+
+def implies(a, b):
+    return or_(not_(a), b)
+
+
+def ite(cond, then, alt):
+    """Primitive-valued if-then-else (φ); both branches already evaluated.
+
+    For merging arbitrary values use :func:`repro.sym.merge.merge`; this
+    helper exists for code that knows its branches are primitives.
+    """
+    from repro.sym.merge import merge
+    return merge(cond, then, alt)
+
+
+# ---------------------------------------------------------------------------
+# Structural equality and truthiness
+# ---------------------------------------------------------------------------
+
+def sym_equal(a, b):
+    """Structural ``equal?`` returning a concrete or symbolic boolean.
+
+    Mutable boxes compare by identity (HL excludes `eq?` on immutables so
+    list merging stays sound — §4.4); everything else compares structurally,
+    producing a formula when symbolic values are involved.
+    """
+    if isinstance(a, Union):
+        return or_(*[and_(wrap_bool(guard), sym_equal(value, b))
+                     for guard, value in a.entries])
+    if isinstance(b, Union):
+        return sym_equal(b, a)
+    if is_boolean_value(a) and is_boolean_value(b):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a == b
+        return wrap_bool(T.mk_iff(bool_term(a), bool_term(b)))
+    if is_integer_value(a) and is_integer_value(b):
+        return num_eq(a, b)
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        if len(a) != len(b):
+            return False
+        return and_(*[sym_equal(x, y) for x, y in zip(a, b)])
+    if type(a) is type(b) and isinstance(a, (str, bytes, type(None))):
+        return a == b
+    return a is b
+
+
+def truthy(value):
+    """Fig. 8's isTrue: Scheme truthiness of any SVM value.
+
+    Booleans are themselves; a union is true iff one of its boolean members
+    is true or a non-boolean member is selected; everything else is true.
+    """
+    if is_boolean_value(value):
+        return value if isinstance(value, bool) else value
+    if isinstance(value, Union):
+        disjuncts = []
+        for guard, member in value.entries:
+            if is_boolean_value(member):
+                disjuncts.append(T.mk_and(guard, bool_term(member)))
+            else:
+                disjuncts.append(guard)
+        return wrap_bool(T.mk_or(*disjuncts))
+    return True

@@ -1,0 +1,31 @@
+"""The lightweight symbolic virtual machine (§4 of the paper).
+
+The SVM executes host programs on symbolic inputs, merging program states
+at every control-flow join with the type-driven strategy of Figure 9, and
+collecting assertions into a store that the queries in :mod:`repro.queries`
+hand to the solver.
+
+Public surface:
+
+- :class:`VM`, :func:`current` — the evaluation context ⟨σ, π, α⟩;
+- :func:`assert_`, :func:`branch` — ambient assertion and lifted ``if``;
+- :mod:`repro.vm.builtins` — the lifted builtin library (lists, predicates,
+  application);
+- :mod:`repro.vm.mutable` — boxes and vectors with join-merged effects;
+- :mod:`repro.vm.reflection` — ``for_all`` and union introspection.
+"""
+
+from repro.vm.context import VM, assert_, branch, current
+from repro.vm.errors import AssertionFailure, SvmError, TypeFailure, UnliftedError
+from repro.vm.mutable import Vector, box_get, box_set, make_box
+from repro.vm.reflection import for_all, lift, union_contents, union_size
+from repro.vm.stats import EvalStats
+from repro.vm import builtins
+
+__all__ = [
+    "VM", "assert_", "branch", "current",
+    "AssertionFailure", "SvmError", "TypeFailure", "UnliftedError",
+    "Vector", "box_get", "box_set", "make_box",
+    "for_all", "lift", "union_contents", "union_size",
+    "EvalStats", "builtins",
+]

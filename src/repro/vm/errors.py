@@ -1,0 +1,31 @@
+"""Failure conditions of symbolic evaluation (the ⊥ of Figure 8)."""
+
+from __future__ import annotations
+
+
+class SvmError(Exception):
+    """Base class for all SVM-raised errors."""
+
+
+class AssertionFailure(SvmError):
+    """An assertion that fails on the current path (rule AS1).
+
+    When raised under a non-trivial path condition, the enclosing
+    :meth:`repro.vm.context.VM.guarded` call converts it into a constraint
+    excluding the path; when it escapes to the top level the whole
+    evaluation is a definite failure.
+    """
+
+    def __init__(self, message: str = "assertion failed"):
+        super().__init__(message)
+
+
+class TypeFailure(AssertionFailure):
+    """A dynamic type error, treated as an assertion failure (rule CO1)."""
+
+
+class UnliftedError(SvmError):
+    """A symbolic value reached a construct with no lifted semantics.
+
+    The fix is usually symbolic reflection (:func:`repro.vm.reflection.for_all`).
+    """

@@ -1,0 +1,127 @@
+"""Mutable storage under symbolic evaluation: boxes and vectors.
+
+Mutable locations are merged by *pointer* (Fig. 9's ≈Ptr): two distinct
+boxes or vectors never merge into one, which soundly tracks aliasing. Their
+**contents** are merged by the VM at control-flow joins via the write log
+(see :meth:`repro.vm.context.VM.guarded`).
+
+Vectors additionally support symbolic indices:
+
+- a *read* at a symbolic index asserts the bounds check and merges all
+  elements selected by the index (a CO1-style lifted operation);
+- a *write* at a symbolic index conditionally updates every cell —
+  ``cells[i] = µ(idx = i, value, cells[i])`` — the classic symbolic array
+  update.
+
+These mirror the paper's note that the prototype implements "direct
+evaluation and merging rules for (im)mutable vectors" (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sym import ops
+from repro.sym.merge import merge, merge_many
+from repro.sym.values import Box, SymInt, Union, bool_term
+from repro.vm import context
+from repro.vm.errors import AssertionFailure, TypeFailure
+
+
+def make_box(value, name: str | None = None) -> Box:
+    return Box(value, name)
+
+
+def box_get(box: Box):
+    return box.value
+
+
+def box_set(box: Box, value) -> None:
+    """Write a box, logging the old value for join-time merging."""
+    context.current().log_write(box, None, box.value)
+    box.value = value
+
+
+class Vector:
+    """A fixed-length mutable vector of SVM values."""
+
+    __slots__ = ("cells", "name")
+
+    _counter = 0
+
+    def __init__(self, contents: Iterable, name: str | None = None):
+        self.cells: List = list(contents)
+        if name is None:
+            Vector._counter += 1
+            name = f"vec{Vector._counter}"
+        self.name = name
+
+    @classmethod
+    def filled(cls, length: int, value=0, name: str | None = None) -> "Vector":
+        return cls([value] * length, name)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # Raw location protocol used by the VM's write log.
+    def _sym_read(self, key):
+        return self.cells[key]
+
+    def _sym_write_raw(self, key, value):
+        self.cells[key] = value
+
+    # ------------------------------------------------------------------
+
+    def ref(self, index):
+        """vector-ref with a concrete or symbolic index."""
+        index = _normalize_index(index)
+        if isinstance(index, int):
+            if not 0 <= index < len(self.cells):
+                raise AssertionFailure(
+                    f"vector index {index} out of range [0, {len(self.cells)})")
+            return self.cells[index]
+        vm = context.current()
+        in_bounds = ops.and_(ops.ge(index, 0), ops.lt(index, len(self.cells)))
+        vm.assert_(in_bounds, "vector index out of range")
+        entries = [(bool_term(ops.num_eq(index, i)), cell)
+                   for i, cell in enumerate(self.cells)]
+        return merge_many(entries)
+
+    def set(self, index, value) -> None:
+        """vector-set! with a concrete or symbolic index."""
+        index = _normalize_index(index)
+        vm = context.current()
+        if isinstance(index, int):
+            if not 0 <= index < len(self.cells):
+                raise AssertionFailure(
+                    f"vector index {index} out of range [0, {len(self.cells)})")
+            vm.log_write(self, index, self.cells[index])
+            self.cells[index] = value
+            return
+        in_bounds = ops.and_(ops.ge(index, 0), ops.lt(index, len(self.cells)))
+        vm.assert_(in_bounds, "vector index out of range")
+        for i in range(len(self.cells)):
+            vm.log_write(self, i, self.cells[i])
+            self.cells[i] = merge(ops.num_eq(index, i), value, self.cells[i])
+
+    def snapshot(self) -> tuple:
+        """The current contents as an immutable list."""
+        return tuple(self.cells)
+
+    def __repr__(self):
+        return f"Vector({self.name}, {self.cells!r})"
+
+
+def _normalize_index(index):
+    """Accept int / SymInt / union-of-ints as a vector index."""
+    if isinstance(index, bool):
+        raise TypeFailure("vector index must be an integer")
+    if isinstance(index, (int, SymInt)):
+        return index
+    if isinstance(index, Union):
+        # An index union must be all-integer; merge it into one SymInt.
+        for _, member in index.entries:
+            if isinstance(member, bool) or not isinstance(member, (int, SymInt)):
+                raise TypeFailure("vector index must be an integer")
+        return merge_many(list(index.entries))
+    raise TypeFailure(f"vector index must be an integer, got {index!r}")

@@ -1,0 +1,151 @@
+"""A symbolic profiler: attributing joins and unions to call sites.
+
+The paper's Table 4 aggregates evaluation statistics per benchmark; when a
+query is slow, an SDSL author wants to know *which part of the program*
+created the joins and the unions. (Rosette later grew exactly this tool —
+symbolic profiling; here it is a natural extension of the stats layer.)
+
+Usage::
+
+    from repro.vm.profiler import SymbolicProfiler
+
+    with SymbolicProfiler() as profiler:
+        outcome = solve(program)
+    print(profiler.report())
+
+The profiler samples the Python call stack at every control-flow join and
+at every union construction, and aggregates by function. Overhead is a
+stack walk per event, so keep it out of production runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sym.values import UNION_COUNTERS
+from repro.vm import context
+
+
+@dataclass
+class SiteStats:
+    """Aggregated events for one source location (function)."""
+
+    joins: int = 0
+    unions: int = 0
+    union_cardinality: int = 0
+
+    def merged_with(self, other: "SiteStats") -> "SiteStats":
+        return SiteStats(self.joins + other.joins,
+                         self.unions + other.unions,
+                         self.union_cardinality + other.union_cardinality)
+
+
+def _caller_site(skip_prefixes: Tuple[str, ...]) -> str:
+    """The innermost stack frame outside the SVM's own machinery."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not any(marker in filename for marker in skip_prefixes):
+            return f"{frame.f_code.co_name} ({filename.rsplit('/', 1)[-1]}:" \
+                   f"{frame.f_lineno})"
+        frame = frame.f_back
+    return "<toplevel>"
+
+
+_INTERNAL = ("repro/vm/context.py", "repro/vm/builtins.py",
+             "repro/sym/merge.py", "repro/sym/values.py",
+             "repro/vm/profiler.py")
+
+
+class SymbolicProfiler:
+    """Collects per-site join/union statistics while active."""
+
+    _active: List["SymbolicProfiler"] = []
+
+    def __init__(self):
+        self.sites: Dict[str, SiteStats] = {}
+        self._original_guarded = None
+        self._original_record = None
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "SymbolicProfiler":
+        SymbolicProfiler._active.append(self)
+        if len(SymbolicProfiler._active) == 1:
+            self._install()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = SymbolicProfiler._active.pop()
+        assert popped is self
+        if not SymbolicProfiler._active:
+            self._uninstall()
+
+    def _install(self) -> None:
+        vm_class = context.VM
+        original_guarded = vm_class.guarded
+        SymbolicProfiler._saved_guarded = original_guarded
+
+        def profiled_guarded(vm_self, alternatives, assert_coverage=False,
+                             failure_message="all guarded paths failed",
+                             count_join=True):
+            joins_before = vm_self.stats.joins
+            result = original_guarded(
+                vm_self, alternatives, assert_coverage=assert_coverage,
+                failure_message=failure_message, count_join=count_join)
+            if vm_self.stats.joins > joins_before:
+                site = _caller_site(_INTERNAL)
+                for profiler in SymbolicProfiler._active:
+                    profiler._record_join(site)
+            return result
+
+        vm_class.guarded = profiled_guarded
+
+        original_record = UNION_COUNTERS.record
+        SymbolicProfiler._saved_record = original_record
+
+        def profiled_record(size: int) -> None:
+            original_record(size)
+            site = _caller_site(_INTERNAL)
+            for profiler in SymbolicProfiler._active:
+                profiler._record_union(site, size)
+
+        UNION_COUNTERS.record = profiled_record
+
+    def _uninstall(self) -> None:
+        context.VM.guarded = SymbolicProfiler._saved_guarded
+        UNION_COUNTERS.record = SymbolicProfiler._saved_record
+
+    # ------------------------------------------------------------------
+
+    def _site(self, name: str) -> SiteStats:
+        stats = self.sites.get(name)
+        if stats is None:
+            stats = SiteStats()
+            self.sites[name] = stats
+        return stats
+
+    def _record_join(self, site: str) -> None:
+        self._site(site).joins += 1
+
+    def _record_union(self, site: str, size: int) -> None:
+        stats = self._site(site)
+        stats.unions += 1
+        stats.union_cardinality += size
+
+    # ------------------------------------------------------------------
+
+    def top_sites(self, limit: int = 10) -> List[Tuple[str, SiteStats]]:
+        ranked = sorted(self.sites.items(),
+                        key=lambda kv: (kv[1].joins + kv[1].unions),
+                        reverse=True)
+        return ranked[:limit]
+
+    def report(self, limit: int = 10) -> str:
+        lines = [f"{'site':50s} {'joins':>7s} {'unions':>7s} {'card':>7s}"]
+        for site, stats in self.top_sites(limit):
+            lines.append(f"{site[:50]:50s} {stats.joins:7d} "
+                         f"{stats.unions:7d} {stats.union_cardinality:7d}")
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Symbolic reflection (§2.3, §4.7): lifting unlifted host constructs.
+
+``for_all(value, fn)`` is the paper's ``for/all`` macro: it disassembles a
+symbolic union into its concrete components, applies an arbitrary host
+(Python) function to each, and reassembles the results into a single value.
+This lets SDSL designers lift operations — regular-expression matching,
+string manipulation, whole external libraries — in a few lines, without
+touching the SVM.
+
+The module also exposes union introspection (`union_contents`,
+`union_size`), which the paper notes is "useful for controlling the SVM's
+finitization behavior" (§4.7): recursive SDSL interpreters can assert a
+bound on the cardinality of a union to stop unwinding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.sym.values import Union, wrap_bool
+from repro.vm.builtins import union_apply
+
+
+def for_all(value, fn: Callable[[object], object]):
+    """Apply `fn` to each concrete component of `value` and merge.
+
+    For non-union values this is a plain call: concrete evaluation is the
+    common fast path. For unions, each member is evaluated under its guard
+    (effects included) and the guarded results are merged; members on which
+    `fn` fails are excluded by an infeasibility constraint.
+    """
+    return union_apply(fn, value)
+
+
+def lift(fn: Callable) -> Callable:
+    """Decorator form of :func:`for_all` for single-argument functions.
+
+    ::
+
+        @lift
+        def regex_match(s):           # written for concrete strings
+            return re.match(...) is not None
+
+        regex_match(symbolic_union_of_strings)  # now works
+    """
+    def lifted(*args):
+        return union_apply(fn, *args)
+    lifted.__name__ = getattr(fn, "__name__", "lifted")
+    lifted.__doc__ = fn.__doc__
+    return lifted
+
+
+def union_size(value) -> int:
+    """Cardinality of a union (1 for any non-union value)."""
+    return len(value.entries) if isinstance(value, Union) else 1
+
+
+def union_contents(value) -> List[Tuple[object, object]]:
+    """The (guard, value) pairs of a union; [(True, value)] otherwise.
+
+    Guards are returned as booleans/:class:`SymBool` so reflective code can
+    reason about them with ordinary symbolic operations.
+    """
+    if isinstance(value, Union):
+        return [(wrap_bool(guard), member) for guard, member in value.entries]
+    return [(True, value)]
+
+
+def union_guards(value) -> List[object]:
+    return [guard for guard, _ in union_contents(value)]
+
+
+def union_values(value) -> List[object]:
+    return [member for _, member in union_contents(value)]

@@ -1,0 +1,21 @@
+"""Shared test fixtures: per-test isolation of global interpreter state."""
+
+import pytest
+
+from repro.sym.fresh import reset_fresh_names
+from repro.sym.values import UNION_COUNTERS
+
+
+@pytest.fixture(autouse=True)
+def _isolate_symbolic_state():
+    """Reset name streams and union counters around every test.
+
+    The term intern table is deliberately left alone: terms are immutable
+    and interning is semantics-free, so sharing it across tests only saves
+    memory.
+    """
+    reset_fresh_names()
+    UNION_COUNTERS.reset()
+    yield
+    reset_fresh_names()
+    UNION_COUNTERS.reset()

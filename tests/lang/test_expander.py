@@ -1,0 +1,147 @@
+"""Tests for the syntax-rules macro expander."""
+
+import pytest
+
+from repro.lang.expander import MacroError, MacroExpander
+from repro.lang.reader import read, read_all
+
+
+def expand_program(source: str):
+    """Expand all forms; define-syntax forms are consumed."""
+    expander = MacroExpander()
+    out = []
+    for form in read_all(source):
+        expanded = expander.expand(form)
+        if expanded is not None:
+            out.append(expanded)
+    return out
+
+
+class TestBasicRules:
+    def test_simple_substitution(self):
+        forms = expand_program("""
+            (define-syntax twice (syntax-rules () [(_ e) (+ e e)]))
+            (twice 3)
+        """)
+        assert forms == [read("(+ 3 3)")]
+
+    def test_multiple_rules_first_match_wins(self):
+        forms = expand_program("""
+            (define-syntax m (syntax-rules ()
+              [(_ a) (one a)]
+              [(_ a b) (two a b)]))
+            (m 1)
+            (m 1 2)
+        """)
+        assert forms == [read("(one 1)"), read("(two 1 2)")]
+
+    def test_literals_must_match(self):
+        forms = expand_program("""
+            (define-syntax rel (syntax-rules (=>)
+              [(_ a => b) (pair a b)]))
+            (rel 1 => 2)
+        """)
+        assert forms == [read("(pair 1 2)")]
+        with pytest.raises(MacroError):
+            expand_program("""
+                (define-syntax rel (syntax-rules (=>)
+                  [(_ a => b) (pair a b)]))
+                (rel 1 to 2)
+            """)
+
+    def test_wildcard(self):
+        forms = expand_program("""
+            (define-syntax ignore (syntax-rules () [(_ _ keep) keep]))
+            (ignore junk 42)
+        """)
+        assert forms == [42]
+
+    def test_recursive_expansion(self):
+        forms = expand_program("""
+            (define-syntax my-or (syntax-rules ()
+              [(_) #f]
+              [(_ e) e]
+              [(_ e rest ...) (if e e (my-or rest ...))]))
+            (my-or 1 2 3)
+        """)
+        assert forms == [read("(if 1 1 (if 2 2 3))")]
+
+
+class TestEllipses:
+    def test_simple_repetition(self):
+        forms = expand_program("""
+            (define-syntax lst (syntax-rules () [(_ x ...) (list x ...)]))
+            (lst 1 2 3)
+            (lst)
+        """)
+        assert forms == [read("(list 1 2 3)"), read("(list)")]
+
+    def test_repetition_with_trailing_pattern(self):
+        forms = expand_program("""
+            (define-syntax rotate (syntax-rules ()
+              [(_ first mid ... final) (list final mid ... first)]))
+            (rotate 1 2 3 4)
+        """)
+        assert forms == [read("(list 4 2 3 1)")]
+
+    def test_paired_repetition(self):
+        forms = expand_program("""
+            (define-syntax my-let (syntax-rules ()
+              [(_ ([name value] ...) body)
+               ((lambda (name ...) body) value ...)]))
+            (my-let ([x 1] [y 2]) (+ x y))
+        """)
+        assert forms == [read("((lambda (x y) (+ x y)) 1 2)")]
+
+    def test_nested_ellipses(self):
+        """The automaton macro's shape: per-state lists of transitions."""
+        forms = expand_program("""
+            (define-syntax table (syntax-rules ()
+              [(_ [state (label target) ...] ...)
+               (list (list 'state (list 'label 'target) ...) ...)]))
+            (table [s1 (a s2) (b s1)] [s2])
+        """)
+        assert forms == [read(
+            "(list (list 's1 (list 'a 's2) (list 'b 's1)) (list 's2))")]
+
+    def test_mismatched_repetition_counts(self):
+        with pytest.raises(MacroError):
+            expand_program("""
+                (define-syntax bad (syntax-rules ()
+                  [(_ (a ...) (b ...)) ((a b) ...)]))
+                (bad (1 2) (3))
+            """)
+
+    def test_ellipsis_variable_without_ellipsis_in_template(self):
+        with pytest.raises(MacroError):
+            expand_program("""
+                (define-syntax bad2 (syntax-rules () [(_ x ...) x]))
+                (bad2 1 2)
+            """)
+
+
+class TestErrors:
+    def test_no_matching_rule(self):
+        with pytest.raises(MacroError):
+            expand_program("""
+                (define-syntax one (syntax-rules () [(_ a) a]))
+                (one 1 2)
+            """)
+
+    def test_malformed_define_syntax(self):
+        with pytest.raises(MacroError):
+            expand_program("(define-syntax 42 (syntax-rules ()))")
+
+    def test_nonterminating_macro_detected(self):
+        with pytest.raises(MacroError):
+            expand_program("""
+                (define-syntax loop (syntax-rules () [(_ x) (loop x)]))
+                (loop 1)
+            """)
+
+    def test_quote_is_opaque(self):
+        forms = expand_program("""
+            (define-syntax t (syntax-rules () [(_ x) x]))
+            '(t 1)
+        """)
+        assert forms == [read("'(t 1)")]

@@ -1,0 +1,263 @@
+"""Tests for the HL interpreter: evaluation, closures, symbolic semantics."""
+
+import pytest
+
+from repro.lang import LangError, run_program
+from repro.lang.reader import Symbol
+from repro.queries.outcome import Model
+from repro.sym.values import SymBool, SymInt, Union
+from repro.vm.errors import AssertionFailure
+
+
+def run1(source: str, width: int = 8):
+    """Run a program and return the last form's value."""
+    return run_program(source, int_width=width)[-1]
+
+
+class TestCoreEvaluation:
+    def test_literals(self):
+        assert run1("42") == 42
+        assert run1("#t") is True
+        assert run1('"str"') == "str"
+
+    def test_arithmetic(self):
+        assert run1("(+ 1 2 3)") == 6
+        assert run1("(- 10 3 2)") == 5
+        assert run1("(- 5)") == -5
+        assert run1("(* 2 3 4)") == 24
+        assert run1("(quotient 7 2)") == 3
+        assert run1("(remainder 7 2)") == 1
+        assert run1("(modulo -7 2)") == 1
+
+    def test_comparisons(self):
+        assert run1("(< 1 2 3)") is True
+        assert run1("(< 1 3 2)") is False
+        assert run1("(= 2 2 2)") is True
+        assert run1("(>= 3 3 2)") is True
+
+    def test_define_and_reference(self):
+        assert run1("(define x 10) (+ x 1)") == 11
+
+    def test_function_definition_sugar(self):
+        assert run1("(define (square n) (* n n)) (square 5)") == 25
+
+    def test_lambda_and_application(self):
+        assert run1("((lambda (a b) (+ a b)) 3 4)") == 7
+
+    def test_variadic_lambda(self):
+        assert run1("((lambda args (length args)) 1 2 3)") == 3
+
+    def test_closures_capture_environment(self):
+        assert run1("""
+            (define (adder n) (lambda (m) (+ n m)))
+            ((adder 10) 5)
+        """) == 15
+
+    def test_recursion(self):
+        assert run1("""
+            (define (fib n)
+              (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+            (fib 10)
+        """) == 55
+
+    def test_letrec_mutual_recursion(self):
+        assert run1("""
+            (letrec ([even? (lambda (n) (if (= n 0) #t (odd? (- n 1))))]
+                     [odd?  (lambda (n) (if (= n 0) #f (even? (- n 1))))])
+              (even? 10))
+        """) is True
+
+    def test_named_let(self):
+        assert run1("""
+            (let loop ([i 0] [acc 0])
+              (if (= i 5) acc (loop (+ i 1) (+ acc i))))
+        """) == 10
+
+    def test_let_star_sequential(self):
+        assert run1("(let* ([x 1] [y (+ x 1)]) (+ x y))") == 3
+
+    def test_set_bang(self):
+        assert run1("(define x 1) (set! x 2) x") == 2
+
+    def test_begin(self):
+        assert run1("(define x 0) (begin (set! x 1) (set! x (+ x 1)) x)") == 2
+
+    def test_cond_else(self):
+        assert run1("(cond [#f 1] [else 2])") == 2
+
+    def test_case_dispatch(self):
+        assert run1("(case 2 [(1) 'one] [(2 3) 'two-or-three] [else 'many])") \
+            == Symbol("two-or-three")
+
+    def test_and_or_short_circuit(self):
+        assert run1("(and 1 2 3)") == 3
+        assert run1("(and 1 #f 3)") is False
+        assert run1("(or #f 2)") == 2
+        assert run1("(or #f #f)") is False
+
+    def test_when_unless(self):
+        assert run1("(when #t 1)") == 1
+        assert run1("(unless #f 2)") == 2
+
+    def test_quote_produces_data(self):
+        value = run1("'(a 1 (b))")
+        assert value == (Symbol("a"), 1, (Symbol("b"),))
+
+    def test_lists(self):
+        assert run1("(cons 1 '(2 3))") == (1, 2, 3)
+        assert run1("(map (lambda (v) (* v v)) '(1 2 3))") == (1, 4, 9)
+        assert run1("(foldl + 0 '(1 2 3))") == 6
+        assert run1("(filter odd? '(1 2 3 4 5))") == (1, 3, 5)
+        assert run1("(reverse (range 3))") == (2, 1, 0)
+
+    def test_vectors_and_boxes(self):
+        assert run1("""
+            (define v (vector 1 2 3))
+            (vector-set! v 0 9)
+            (+ (vector-ref v 0) (vector-length v))
+        """) == 12
+        assert run1("(define b (box 1)) (set-box! b 7) (unbox b)") == 7
+
+    def test_unbound_identifier(self):
+        with pytest.raises(LangError):
+            run1("nope")
+
+    def test_error_builtin_fails(self):
+        with pytest.raises(AssertionFailure):
+            run1('(error "boom")')
+
+
+class TestSymbolicEvaluation:
+    def test_define_symbolic_types(self):
+        from repro.sym.values import SymBool, SymInt
+        results = run_program("""
+            (define-symbolic b boolean?)
+            (define-symbolic n number?)
+            b n
+        """, int_width=4)
+        assert isinstance(results[-2], SymBool)
+        assert isinstance(results[-1], SymInt)
+        assert results[-1].width == 4
+
+    def test_define_symbolic_is_stable(self):
+        assert run1("""
+            (define (static) (define-symbolic x number?) x)
+            (equal? (static) (static))
+        """) is True
+
+    def test_define_symbolic_star_is_fresh(self):
+        value = run1("""
+            (define (dynamic) (define-symbolic* y number?) y)
+            (equal? (dynamic) (dynamic))
+        """)
+        assert isinstance(value, SymBool)
+
+    def test_symbolic_if_merges(self):
+        value = run1("""
+            (define-symbolic b boolean?)
+            (if b 1 2)
+        """)
+        assert isinstance(value, SymInt)
+
+    def test_symbolic_branch_with_different_shapes(self):
+        value = run1("""
+            (define-symbolic b boolean?)
+            (if b '(1) '(1 2))
+        """)
+        assert isinstance(value, Union)
+
+    def test_symbolic_list_ref(self):
+        value = run1("""
+            (define-symbolic i number?)
+            (list-ref '(10 20 30) i)
+        """)
+        assert isinstance(value, SymInt)
+
+    def test_set_bang_merges_at_joins(self):
+        value = run1("""
+            (define-symbolic b boolean?)
+            (define x 0)
+            (if b (set! x 1) (set! x 2))
+            x
+        """)
+        assert isinstance(value, SymInt)
+
+    def test_choose_is_stable_per_site(self):
+        value = run1("""
+            (define (pick) (choose 1 2))
+            (equal? (pick) (pick))
+        """)
+        assert value is True
+
+    def test_for_all_reflection(self):
+        value = run1("""
+            (define-symbolic b boolean?)
+            (define u (if b "short" "longer!"))
+            (for/all ([s u]) (regexp-match? "short" s))
+        """)
+        assert isinstance(value, SymBool)
+
+
+class TestQueriesInHL:
+    def test_solve_and_evaluate(self):
+        value = run1("""
+            (define-symbolic x number?)
+            (define m (solve (assert (= (* x x) 25))))
+            (evaluate x m)
+        """)
+        assert value in (5, -5)
+
+    def test_solve_unsat_returns_false(self):
+        assert run1("""
+            (define-symbolic x number?)
+            (solve (assert (and (< x 0) (> x 0))))
+        """) is False
+
+    def test_solve_respects_prior_assertions(self):
+        value = run1("""
+            (define-symbolic x number?)
+            (assert (> x 10))
+            (define m (solve (assert (< x 13))))
+            (evaluate x m)
+        """)
+        assert 10 < value < 13
+
+    def test_verify_no_counterexample(self):
+        assert run1("""
+            (define-symbolic x number?)
+            (verify (assert (= x x)))
+        """) is False
+
+    def test_verify_counterexample_model(self):
+        result = run1("""
+            (define-symbolic x number?)
+            (define cex (verify (assert (< x 10))))
+            (evaluate x cex)
+        """)
+        assert result >= 10
+
+    def test_synthesize_constant(self):
+        value = run1("""
+            (define-symbolic x number?)
+            (define-symbolic c number?)
+            (define m (synthesize [x] (assert (= (* x c) (+ x x)))))
+            (evaluate c m)
+        """)
+        assert value == 2
+
+    def test_sat_unsat_predicates(self):
+        results = run_program("""
+            (define-symbolic x number?)
+            (sat? (solve (assert (= x 1))))
+            (unsat? (solve (assert (and (< x 0) (> x 0)))))
+        """, int_width=8)
+        assert results[-2] is True
+        assert results[-1] is True
+
+    def test_debug_core(self):
+        core = run1("""
+            (define-symbolic unused number?)
+            (define core (debug [number?] (assert (= (+ 2 2) 5))))
+            core
+        """)
+        assert len(core) >= 1

@@ -1,0 +1,164 @@
+"""Tests for the HL standard prelude (written in HL itself)."""
+
+import pytest
+
+from repro.lang import run_program
+from repro.lang.reader import Symbol
+from repro.sym.values import SymBool, SymInt
+
+
+def run1(source: str, width: int = 8):
+    return run_program(source, int_width=width)[-1]
+
+
+class TestListUtilities:
+    def test_accessors(self):
+        assert run1("(cadr '(1 2 3))") == 2
+        assert run1("(caddr '(1 2 3))") == 3
+        assert run1("(caar '((9) 2))") == 9
+        assert run1("(cddr '(1 2 3 4))") == (3, 4)
+
+    def test_list_tail(self):
+        assert run1("(list-tail '(1 2 3 4) 2)") == (3, 4)
+        assert run1("(list-tail '(1) 0)") == (1,)
+
+    def test_member(self):
+        assert run1("(member 2 '(1 2 3))") == (2, 3)
+        assert run1("(member 9 '(1 2 3))") is False
+
+    def test_assoc(self):
+        assert run1("(assoc 'b '((a 1) (b 2)))") == (Symbol("b"), 2)
+        assert run1("(assoc 'z '((a 1)))") is False
+
+    def test_andmap_ormap(self):
+        assert run1("(andmap positive? '(1 2 3))") is True
+        assert run1("(andmap positive? '(1 -2 3))") is False
+        assert run1("(andmap positive? null)") is True
+        assert run1("(ormap negative? '(1 -2 3))") is True
+        assert run1("(ormap negative? '(1 2))") is False
+
+    def test_remove(self):
+        assert run1("(remove 2 '(1 2 3 2))") == (1, 3, 2)
+        assert run1("(remove 9 '(1 2))") == (1, 2)
+
+    def test_count(self):
+        assert run1("(count even? '(1 2 3 4 5 6))") == 3
+
+    def test_append_map(self):
+        assert run1("(append-map (lambda (v) (list v v)) '(1 2))") == \
+            (1, 1, 2, 2)
+
+    def test_index_of(self):
+        assert run1("(index-of '(a b c) 'c)") == 2
+        assert run1("(index-of '(a b c) 'z)") is False
+
+    def test_flatten(self):
+        assert run1("(flatten '((1 (2)) (3) 4))") == (1, 2, 3, 4)
+
+    def test_sum_and_iota(self):
+        assert run1("(sum (iota 5))") == 10
+
+
+class TestHigherOrder:
+    def test_compose(self):
+        assert run1("((compose add1 add1) 1)") == 3
+
+    def test_const_and_identity(self):
+        assert run1("((const 7) 1 2 3)") == 7
+        assert run1("(identity 'x)") == Symbol("x")
+
+    def test_curry2(self):
+        assert run1("((curry2 + 10) 5)") == 15
+
+
+class TestNumericHelpers:
+    def test_clamp(self):
+        assert run1("(clamp 0 10 15)") == 10
+        assert run1("(clamp 0 10 -3)") == 0
+        assert run1("(clamp 0 10 7)") == 7
+
+    def test_between(self):
+        assert run1("(between? 1 5 3)") is True
+        assert run1("(between? 1 5 9)") is False
+
+    def test_sgn(self):
+        assert run1("(sgn -9)") == -1
+        assert run1("(sgn 0)") == 0
+        assert run1("(sgn 2)") == 1
+
+
+class TestPreludeOnSymbolicValues:
+    """The prelude is defined over lifted builtins, so it lifts for free."""
+
+    def test_member_with_symbolic_element(self):
+        value = run1("""
+            (define-symbolic x number?)
+            (member x '(1 2 3))
+        """)
+        from repro.sym.values import Union
+        assert isinstance(value, (Union, SymBool)) or value is False
+
+    def test_andmap_on_symbolic_list(self):
+        value = run1("""
+            (define-symbolic a number?)
+            (define-symbolic b number?)
+            (andmap positive? (list a b))
+        """)
+        assert isinstance(value, SymBool)
+
+    def test_clamp_symbolic(self):
+        value = run1("""
+            (define-symbolic v number?)
+            (clamp 0 10 v)
+        """)
+        assert isinstance(value, SymInt)
+
+    def test_sum_of_symbolic_list(self):
+        value = run1("""
+            (define-symbolic n number?)
+            (sum (list n 1 2))
+        """)
+        assert isinstance(value, SymInt)
+
+    def test_solve_through_prelude_code(self):
+        value = run1("""
+            (define-symbolic x number?)
+            (define m (solve (assert (equal? (clamp 0 10 x) 7))))
+            (evaluate x m)
+        """)
+        assert value == 7
+
+    def test_prelude_can_be_disabled(self):
+        from repro.lang import Interpreter, LangError
+        from repro.vm.context import VM
+        interp = Interpreter(prelude=False)
+        with VM():
+            with pytest.raises(LangError):
+                interp.run("(clamp 0 1 2)")
+
+
+class TestComprehensions:
+    def test_for_list_over_list(self):
+        assert run1("(for/list ([x '(1 2 3)]) (* x x))") == (1, 4, 9)
+
+    def test_for_list_over_count(self):
+        assert run1("(for/list ([i 4]) (* i 10))") == (0, 10, 20, 30)
+
+    def test_for_and_or(self):
+        assert run1("(for/and ([x '(2 4 6)]) (even? x))") is True
+        assert run1("(for/and ([x '(2 5 6)]) (even? x))") is False
+        assert run1("(for/or ([x '(1 3 4)]) (even? x))") is True
+        assert run1("(for/or ([x '(1 3 5)]) (even? x))") is False
+
+    def test_paper_word_generator_shape(self):
+        """The §2.2 word generator, exactly as written in the paper."""
+        from repro.sym.values import Union
+        value = run1("""
+            (define (word k alphabet)
+              (for/list ([i k])
+                (begin (define-symbolic* idx number?)
+                       (list-ref alphabet idx))))
+            (word 2 '(a b c))
+        """)
+        assert isinstance(value, tuple) and len(value) == 2
+        assert all(isinstance(element, Union) for element in value)

@@ -1,0 +1,123 @@
+"""HL query semantics details from Figure 8 (rule SQ1 and friends)."""
+
+import pytest
+
+from repro.lang.interp import Interpreter
+from repro.sym.values import SymInt
+from repro.vm.context import VM
+
+
+@pytest.fixture
+def session():
+    interp = Interpreter(int_width=8)
+    vm = VM()
+    vm.__enter__()
+    yield interp, vm
+    vm.__exit__(None, None, None)
+
+
+class TestSq1StoreDiscipline:
+    def test_solve_restores_the_assertion_store(self, session):
+        """SQ1: ⟨(solve e), σ, π, α⟩ → ⟨model, σ0, π, α⟩ — α, not α0."""
+        interp, vm = session
+        interp.run("(define-symbolic x number?)")
+        interp.run("(assert (> x 0))")
+        before = list(vm.assertions)
+        interp.run("(solve (assert (< x 5)))")
+        assert vm.assertions == before  # the query's assertion is gone
+
+    def test_solve_sees_prior_assertions(self, session):
+        interp, vm = session
+        interp.run("(define-symbolic x number?)")
+        interp.run("(assert (> x 10))")
+        value = interp.run(
+            "(evaluate x (solve (assert (< x 13))))")[0]
+        assert 10 < value < 13
+
+    def test_solve_keeps_side_effects(self, session):
+        """SQ1 keeps σ0: mutations from evaluating e survive the query."""
+        interp, vm = session
+        interp.run("(define counter 0)")
+        interp.run("(solve (begin (set! counter (+ counter 1)) (assert #t)))")
+        assert interp.run("counter")[0] == 1
+
+    def test_verify_restores_the_store_too(self, session):
+        interp, vm = session
+        interp.run("(define-symbolic y number?)")
+        before = list(vm.assertions)
+        interp.run("(verify (assert (> y 100)))")
+        assert vm.assertions == before
+
+    def test_failed_solve_restores_the_store(self, session):
+        interp, vm = session
+        interp.run("(define-symbolic z number?)")
+        before = list(vm.assertions)
+        result = interp.run("(solve (assert (and (< z 0) (> z 0))))")[0]
+        assert result is False
+        assert vm.assertions == before
+
+    def test_nested_queries(self, session):
+        """A solve inside a solve: each restores its own increment."""
+        interp, vm = session
+        interp.run("(define-symbolic w number?)")
+        value = interp.run("""
+            (evaluate w
+              (solve (begin
+                       (assert (> w 3))
+                       (if (sat? (solve (assert (> w 100))))
+                           (assert (< w 120))
+                           (assert (< w 6))))))
+        """)[0]
+        # The inner solve is satisfiable (w can exceed 100), so the outer
+        # asserts w < 120; any 3 < w < 120 works.
+        assert 3 < value < 120
+        assert vm.assertions == []
+
+
+class TestFig8Details:
+    def test_hl_has_no_eq_operator(self, session):
+        """§4.4: eq?/eqv? are deliberately excluded from HL."""
+        from repro.lang.interp import LangError
+        interp, _ = session
+        with pytest.raises(LangError):
+            interp.run("(eq? 1 1)")
+        with pytest.raises(LangError):
+            interp.run("(eqv? 1 1)")
+
+    def test_if_requires_branches(self, session):
+        from repro.lang.interp import LangError
+        interp, _ = session
+        with pytest.raises(LangError):
+            interp.run("(if #t)")
+
+    def test_define_symbolic_rejects_other_types(self, session):
+        """Fig. 7: define-symbolic only creates boolean? and number?."""
+        from repro.lang.interp import LangError
+        interp, _ = session
+        with pytest.raises(LangError):
+            interp.run("(define-symbolic l list?)")
+
+    def test_assertion_store_collects_across_toplevel(self, session):
+        interp, vm = session
+        interp.run("(define-symbolic p boolean?)")
+        interp.run("(assert p)")
+        interp.run("(define-symbolic q boolean?)")
+        interp.run("(assert q)")
+        assert len(vm.assertions) == 2
+
+    def test_pl1_style_symbolic_arithmetic(self, session):
+        """Rule PL1: + over symbolic operands builds an expression."""
+        interp, _ = session
+        interp.run("(define-symbolic n number?)")
+        value = interp.run("(+ n 1)")[0]
+        assert isinstance(value, SymInt)
+
+    def test_ap2_union_of_closures(self, session):
+        """Rule AP2: applying a union of procedures merges the results."""
+        interp, _ = session
+        interp.run("(define-symbolic b boolean?)")
+        value = interp.run("""
+            (define f (if b (lambda (v) (+ v 1)) (lambda (v) (* v 2))))
+            (f 10)
+        """)[-1]
+        assert isinstance(value, SymInt)

@@ -1,0 +1,120 @@
+"""Tests for the s-expression reader."""
+
+import pytest
+
+from repro.lang.reader import ParseError, Symbol, read, read_all, write_form
+
+
+class TestAtoms:
+    def test_integers(self):
+        assert read("42") == 42
+        assert read("-7") == -7
+        assert read("0x10") == 16
+
+    def test_booleans(self):
+        assert read("#t") is True
+        assert read("#f") is False
+        assert read("true") is True
+        assert read("false") is False
+
+    def test_symbols(self):
+        sym = read("hello-world!")
+        assert isinstance(sym, Symbol)
+        assert sym == "hello-world!"
+
+    def test_symbols_are_interned(self):
+        assert read("foo") is read("foo")
+
+    def test_strings(self):
+        assert read('"hello"') == "hello"
+        assert read(r'"line\nbreak"') == "line\nbreak"
+        assert read(r'"quo\"te"') == 'quo"te'
+
+    def test_arrow_symbols(self):
+        assert read("->") == Symbol("->")
+
+
+class TestLists:
+    def test_nested(self):
+        form = read("(a (b c) 1)")
+        assert form == [Symbol("a"), [Symbol("b"), Symbol("c")], 1]
+
+    def test_square_brackets(self):
+        assert read("[a b]") == [Symbol("a"), Symbol("b")]
+
+    def test_mixed_brackets_must_match(self):
+        with pytest.raises(ParseError):
+            read("(a b]")
+
+    def test_empty_list(self):
+        assert read("()") == []
+
+    def test_quote_sugar(self):
+        assert read("'x") == [Symbol("quote"), Symbol("x")]
+        assert read("'(1 2)") == [Symbol("quote"), [1, 2]]
+
+
+class TestErrors:
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            read("(a b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            read('"oops')
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            read("a b")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            read("")
+
+
+class TestReadAll:
+    def test_multiple_forms(self):
+        forms = read_all("(define x 1) x ; trailing comment\n2")
+        assert len(forms) == 3
+        assert forms[2] == 2
+
+    def test_comments_ignored(self):
+        assert read_all("; nothing here\n1") == [1]
+
+
+class TestWriteForm:
+    def test_round_trip(self):
+        source = "(define (f x) (if (< x 1) #t (quote (a b))))"
+        assert read(write_form(read(source))) == read(source)
+
+    def test_string_escaping(self):
+        assert write_form('a"b') == '"a\\"b"'
+
+    def test_booleans(self):
+        assert write_form(True) == "#t"
+        assert write_form(False) == "#f"
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@st.composite
+def random_forms(draw, depth=3):
+    atom = st.one_of(
+        st.integers(min_value=-99, max_value=99),
+        st.booleans(),
+        st.sampled_from(["foo", "bar-baz", "x!", "->", "set!"]).map(Symbol),
+        st.text(alphabet="abc \\\"", min_size=0, max_size=6),
+    )
+    if depth == 0:
+        return draw(atom)
+    return draw(st.one_of(
+        atom,
+        st.lists(random_forms(depth - 1), min_size=0, max_size=4)))
+
+
+@given(random_forms())
+@settings(max_examples=150, deadline=None)
+def test_write_read_round_trip(form):
+    """write_form and read are mutually inverse on arbitrary forms."""
+    assert read(write_form(form)) == form

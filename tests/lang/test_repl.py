@@ -1,0 +1,58 @@
+"""Tests for the HL REPL session driver."""
+
+import pytest
+
+from repro.lang.repl import Repl
+
+
+@pytest.fixture
+def repl():
+    session = Repl(int_width=8)
+    yield session
+    session._stop()
+
+
+class TestRepl:
+    def test_evaluates_expressions(self, repl):
+        assert repl.eval_line("(+ 1 2)") == "3"
+
+    def test_definitions_persist(self, repl):
+        assert repl.eval_line("(define x 10)") is None
+        assert repl.eval_line("(* x x)") == "100"
+
+    def test_assertions_accumulate_across_lines(self, repl):
+        repl.eval_line("(define-symbolic x number?)")
+        repl.eval_line("(assert (> x 3))")
+        output = repl.eval_line("(evaluate x (solve (assert (< x 6))))")
+        assert output in ("4", "5")
+
+    def test_asserts_command(self, repl):
+        assert "empty" in repl.eval_line(",asserts")
+        repl.eval_line("(define-symbolic b boolean?)")
+        repl.eval_line("(assert b)")
+        assert "b" in repl.eval_line(",asserts")
+
+    def test_reset_clears_definitions(self, repl):
+        repl.eval_line("(define x 1)")
+        repl.eval_line(",reset")
+        assert "error" in repl.eval_line("x")
+
+    def test_width_command(self, repl):
+        repl.eval_line(",width 4")
+        repl.eval_line("(define-symbolic n number?)")
+        output = repl.eval_line("(evaluate n (solve (assert (= n 7))))")
+        assert output == "7"
+        assert "usage" in repl.eval_line(",width nope")
+
+    def test_parse_errors_are_reported(self, repl):
+        assert "error" in repl.eval_line("(unclosed")
+
+    def test_runtime_errors_are_reported(self, repl):
+        assert "error" in repl.eval_line("(car null)")
+
+    def test_quit_raises_eof(self, repl):
+        with pytest.raises(EOFError):
+            repl.eval_line(",quit")
+
+    def test_blank_lines_ignored(self, repl):
+        assert repl.eval_line("   ") is None

@@ -1,0 +1,94 @@
+"""Tests for first-class models (the paper's ``evaluate`` utility)."""
+
+import pytest
+
+from repro.queries.outcome import Model, QueryOutcome
+from repro.smt import terms as T
+from repro.smt.solver import Model as SmtModel
+from repro.sym import fresh_bool, fresh_int, merge
+from repro.sym.values import Box
+from repro.vm.mutable import Vector
+
+
+def model_with(**bindings):
+    terms = {}
+    for name, value in bindings.items():
+        if isinstance(value, bool):
+            terms[T.bool_var(name)] = value
+        else:
+            terms[T.bv_var(name, 8)] = value & 0xFF
+    return Model(SmtModel(terms))
+
+
+class TestEvaluate:
+    def test_concrete_values_pass_through(self):
+        model = Model(SmtModel({}))
+        assert model.evaluate(42) == 42
+        assert model.evaluate("str") == "str"
+        assert model.evaluate((1, "a")) == (1, "a")
+        assert model.evaluate(None) is None
+
+    def test_symbolic_primitives(self):
+        from repro.sym.values import SymBool, SymInt
+        x = SymInt(T.bv_var("mx", 8))
+        b = SymBool(T.bool_var("mb"))
+        model = model_with(mx=250, mb=True)
+        assert model.evaluate(x) == -6  # signed interpretation
+        assert model.evaluate(b) is True
+
+    def test_composite_terms(self):
+        from repro.sym.values import SymInt
+        x = SymInt(T.bv_var("my", 8))
+        model = model_with(my=5)
+        assert model.evaluate(x + 3) == 8
+
+    def test_tuples_recursive(self):
+        from repro.sym.values import SymInt
+        x = SymInt(T.bv_var("mz", 8))
+        model = model_with(mz=5)
+        assert model.evaluate((x, (x + 1, 2))) == (5, (6, 2))
+
+    def test_union_selects_by_guard(self):
+        b = fresh_bool("sel", numbered=False)
+        union = merge(b, (1,), (2, 3))
+        true_model = Model(SmtModel({b.term: True}))
+        false_model = Model(SmtModel({b.term: False}))
+        assert true_model.evaluate(union) == (1,)
+        assert false_model.evaluate(union) == (2, 3)
+
+    def test_boxes_and_vectors(self):
+        from repro.sym.values import SymInt
+        x = SymInt(T.bv_var("mv", 8))
+        model = model_with(mv=7)
+        assert model.evaluate(Box(x)) == 7
+        assert model.evaluate(Vector([x, 1])) == [7, 1]
+
+    def test_unbound_variables_default(self):
+        from repro.sym.values import SymBool, SymInt
+        model = Model(SmtModel({}))
+        assert model.evaluate(SymInt(T.bv_var("unbound1", 8))) == 0
+        assert model.evaluate(SymBool(T.bool_var("unbound2"))) is False
+
+    def test_contains(self):
+        from repro.sym.values import SymInt
+        x = SymInt(T.bv_var("mc", 8))
+        model = model_with(mc=1)
+        assert x in model
+        assert SymInt(T.bv_var("other", 8)) not in model
+        assert "plain" not in model
+
+
+class TestQueryOutcome:
+    def test_status_validation(self):
+        with pytest.raises(ValueError):
+            QueryOutcome("maybe")
+
+    def test_truthiness(self):
+        assert bool(QueryOutcome("sat")) is True
+        assert bool(QueryOutcome("unsat")) is False
+        assert bool(QueryOutcome("unknown")) is False
+
+    def test_repr_with_message(self):
+        outcome = QueryOutcome("unsat", message="nothing to see")
+        assert "unsat" in repr(outcome)
+        assert "nothing to see" in repr(outcome)

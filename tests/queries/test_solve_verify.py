@@ -1,0 +1,141 @@
+"""Tests for the solve and verify queries (the revPos story of §3/§4)."""
+
+import pytest
+
+from repro.sym import fresh_bool, fresh_int, ops
+from repro.vm import assert_, branch, builtins as B
+from repro.queries import solve, verify
+
+
+def rev_pos(xs):
+    """The paper's running example (Fig. 5a), written against the SVM."""
+    ps = ()
+    for x in xs:
+        ps = branch(ops.gt(x, 0),
+                    lambda x=x, ps=ps: B.cons(x, ps),
+                    lambda ps=ps: ps)
+    return ps
+
+
+class TestSolve:
+    def test_finds_all_positive_input(self):
+        holder = {}
+
+        def program():
+            xs = tuple(fresh_int("s") for _ in range(2))
+            holder["xs"] = xs
+            assert_(B.equal(B.length(rev_pos(xs)), len(xs)))
+
+        outcome = solve(program)
+        assert outcome.status == "sat"
+        values = [outcome.model.evaluate(x) for x in holder["xs"]]
+        assert all(v > 0 for v in values)
+
+    def test_unsat_when_impossible(self):
+        def program():
+            xs = (fresh_int("u"),)
+            # A 1-element input can never filter to 2 elements.
+            assert_(B.equal(B.length(rev_pos(xs)), 2))
+
+        assert solve(program).status == "unsat"
+
+    def test_definite_failure_is_unsat(self):
+        def program():
+            assert_(False)
+
+        outcome = solve(program)
+        assert outcome.status == "unsat"
+        assert "every path" in outcome.message
+
+    def test_no_assertions_is_trivially_sat(self):
+        assert solve(lambda: None).status == "sat"
+
+    def test_stats_are_collected(self):
+        def program():
+            xs = tuple(fresh_int("t") for _ in range(2))
+            assert_(B.equal(B.length(rev_pos(xs)), len(xs)))
+
+        outcome = solve(program)
+        assert outcome.stats.joins == 2            # one join per element
+        assert outcome.stats.unions_created >= 2   # Fig. 6 shape
+        assert outcome.stats.svm_seconds >= 0
+
+
+class TestVerify:
+    def test_property_that_holds(self):
+        def program():
+            xs = tuple(fresh_int("v") for _ in range(3))
+            assert_(ops.le(B.length(rev_pos(xs)), len(xs)))
+
+        assert verify(program).status == "unsat"
+
+    def test_property_that_fails_yields_counterexample(self):
+        holder = {}
+
+        def program():
+            xs = tuple(fresh_int("w") for _ in range(2))
+            holder["xs"] = xs
+            assert_(B.equal(B.length(rev_pos(xs)), len(xs)))
+
+        outcome = verify(program)
+        assert outcome.status == "sat"
+        values = [outcome.model.evaluate(x) for x in holder["xs"]]
+        assert not all(v > 0 for v in values)  # genuine counterexample
+
+    def test_setup_assertions_are_assumptions(self):
+        """Preconditions from setup are never counted as violations."""
+        holder = {}
+
+        def setup():
+            x = fresh_int("pre")
+            holder["x"] = x
+            assert_(ops.ge(x, 0))
+
+        def program():
+            assert_(ops.ge(holder["x"], 0))  # implied by the precondition
+
+        assert verify(program, setup=setup).status == "unsat"
+
+    def test_counterexample_respects_assumptions(self):
+        holder = {}
+
+        def setup():
+            x = fresh_int("amt")
+            holder["x"] = x
+            assert_(ops.ge(x, 10))
+
+        def program():
+            assert_(ops.ge(holder["x"], 20))
+
+        outcome = verify(program, setup=setup)
+        assert outcome.status == "sat"
+        value = outcome.model.evaluate(holder["x"])
+        assert 10 <= value < 20
+
+    def test_unsatisfiable_preconditions(self):
+        def setup():
+            x = fresh_int("bad")
+            assert_(ops.and_(ops.lt(x, 0), ops.gt(x, 0)))
+
+        outcome = verify(lambda: assert_(False), setup=setup)
+        # Caught either as vacuous (unsat) or as a definite failure probe.
+        assert outcome.status in ("unsat", "sat")
+
+    def test_definite_failure_is_counterexample(self):
+        outcome = verify(lambda: assert_(False))
+        assert outcome.status == "sat"
+        assert "definite" in outcome.message
+
+    def test_no_assertions_has_no_counterexample(self):
+        assert verify(lambda: 42).status == "unsat"
+
+
+class TestOutcome:
+    def test_bool_conversion(self):
+        assert bool(solve(lambda: None)) is True
+        assert bool(solve(lambda: assert_(fresh_bool() & ~fresh_bool()))) \
+            in (True, False)
+
+    def test_repr(self):
+        outcome = solve(lambda: None)
+        assert "sat" in repr(outcome)

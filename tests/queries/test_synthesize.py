@@ -1,0 +1,99 @@
+"""Tests for CEGIS synthesis."""
+
+import pytest
+
+from repro.sym import fresh_bool, fresh_int, merge, ops
+from repro.vm import assert_, branch, builtins as B
+from repro.queries import synthesize
+
+
+class TestCegis:
+    def test_linear_coefficient(self):
+        """forall x: x * c == x + x  =>  c == 2."""
+        x, c = fresh_int("cx"), fresh_int("cc")
+        outcome = synthesize(
+            [x], lambda: assert_(B.equal(x * c, x + x)))
+        assert outcome.status == "sat"
+        assert outcome.model.evaluate(c) == 2
+
+    def test_affine_pair(self):
+        """forall x: a*x + b == 3x + 5."""
+        x, a, b = fresh_int("px"), fresh_int("pa"), fresh_int("pb")
+        outcome = synthesize(
+            [x],
+            lambda: assert_(B.equal(ops.add(ops.mul(a, x), b),
+                                    ops.add(ops.mul(x, 3), 5))))
+        assert outcome.status == "sat"
+        assert outcome.model.evaluate(a) == 3
+        assert outcome.model.evaluate(b) == 5
+
+    def test_boolean_hole(self):
+        """Pick the branch that makes the sketch compute max(x, 0)."""
+        x = fresh_int("bx")
+        sel = fresh_bool("bsel")
+
+        def program():
+            value = branch(sel, lambda: branch(ops.gt(x, 0), lambda: x,
+                                               lambda: 0),
+                           lambda: 0)
+            spec = branch(ops.gt(x, 0), lambda: x, lambda: 0)
+            assert_(B.equal(value, spec))
+
+        outcome = synthesize([x], program)
+        assert outcome.status == "sat"
+        assert outcome.model.evaluate(sel) is True
+
+    def test_impossible_synthesis_is_unsat(self):
+        """No constant c with x * c == x + 1 for all x."""
+        x, c = fresh_int("ix"), fresh_int("ic")
+        outcome = synthesize(
+            [x], lambda: assert_(B.equal(x * c, x + 1)))
+        assert outcome.status == "unsat"
+
+    def test_preconditions_weaken_the_goal(self):
+        """With x >= 0 assumed, |x| == x is realizable by the identity."""
+        x, sel = fresh_int("wx"), fresh_bool("wsel")
+
+        def setup():
+            assert_(ops.ge(x, 0))
+
+        def program():
+            candidate = branch(sel, lambda: x, lambda: ops.neg(x))
+            assert_(B.equal(candidate, x))
+
+        outcome = synthesize([x], program, setup=setup)
+        assert outcome.status == "sat"
+        assert outcome.model.evaluate(sel) is True
+
+    def test_definite_failure(self):
+        outcome = synthesize([], lambda: assert_(False))
+        assert outcome.status == "unsat"
+
+    def test_union_holes_via_procedure_choice(self):
+        """Holes choosing among closures (the SynthCL sketch pattern)."""
+        x = fresh_int("ux")
+        op = merge(fresh_bool("usel"),
+                   lambda v: ops.add(v, v), lambda v: ops.mul(v, v))
+
+        def program():
+            assert_(B.equal(B.apply_value(op, x), ops.mul(x, 2)))
+
+        outcome = synthesize([x], program)
+        assert outcome.status == "sat"
+
+    def test_iteration_cap_reports_unknown(self):
+        x, c = fresh_int("kx"), fresh_int("kc")
+        outcome = synthesize(
+            [x], lambda: assert_(B.equal(x * c, x + x)),
+            max_iterations=0)
+        assert outcome.status == "unknown"
+
+    def test_convergence_message(self):
+        x, c = fresh_int("mx"), fresh_int("mc")
+        outcome = synthesize([x], lambda: assert_(B.equal(x + c, x + 7)))
+        assert outcome.status == "sat"
+        assert "cegis converged" in outcome.message
+
+    def test_bad_input_type_rejected(self):
+        with pytest.raises(TypeError):
+            synthesize(["not-symbolic"], lambda: None)

@@ -1,0 +1,96 @@
+"""Tests for the automata SDSL (the paper's §2 interactions)."""
+
+import re
+
+import pytest
+
+from repro.sdsl.automata import AutomataSession
+
+CADR = """
+(define m (automaton init
+  [init : (c -> more)]
+  [more : (a -> more) (d -> more) (r -> end)]
+  [end : ]))
+"""
+
+SKETCH = """
+(define M (automaton init
+  [init : (c -> (choose s1 s2))]
+  [s1 : (a -> (choose s1 s2 end reject))
+        (d -> (choose s1 s2 end reject))
+        (r -> (choose s1 s2 end reject))]
+  [s2 : (a -> (choose s1 s2 end reject))
+        (d -> (choose s1 s2 end reject))
+        (r -> (choose s1 s2 end reject))]
+  [end : ]))
+"""
+
+
+class TestConcreteExecution:
+    def test_accepts_cadr_words(self):
+        with AutomataSession() as session:
+            session.define(CADR)
+            assert session.accepts("m", "c a d a d d r".split())
+            assert session.accepts("m", ["c", "r"])
+            assert not session.accepts("m", "c a d a d d r r".split())
+            assert not session.accepts("m", ["a"])
+            assert not session.accepts("m", [])
+
+    def test_buggy_macro_accepts_empty(self):
+        with AutomataSession(buggy=True) as session:
+            session.define(CADR)
+            assert session.accepts("m", [])  # the §2.2 bug
+
+
+class TestAngelicExecution:
+    def test_finds_an_accepted_word(self):
+        with AutomataSession() as session:
+            session.define(CADR)
+            word = session.find_accepted_word("m", 4, ["c", "a", "d", "r"])
+            assert word is not None
+            assert re.fullmatch("c[ad]*r", "".join(word))
+
+    def test_no_word_for_empty_automaton(self):
+        with AutomataSession() as session:
+            session.define("(define dead (automaton init [init : ]))")
+            # `init` has no outgoing transitions, so it accepts only '().
+            word = session.find_accepted_word("dead", 3, ["a"])
+            assert word == ()
+
+
+class TestDebugging:
+    def test_core_localizes_the_bug(self):
+        with AutomataSession(buggy=True) as session:
+            session.define(CADR)
+            core = session.debug_empty_word("m")
+            assert core, "the failure must have a non-empty core"
+            # The paper's core names the cond/true expressions of Fig. 2.
+            assert any("true" in label or "cond" in label
+                       for label in core)
+
+
+class TestVerification:
+    def test_fixed_automaton_verifies(self):
+        with AutomataSession() as session:
+            session.define(CADR)
+            cex = session.verify_against_regex(
+                "m", "^c[ad]*r$", 4, ["c", "a", "d", "r"])
+            assert cex is None
+
+    def test_buggy_automaton_has_counterexample(self):
+        with AutomataSession(buggy=True) as session:
+            session.define(CADR)
+            cex = session.verify_against_regex(
+                "m", "^c[ad]*r$", 4, ["c", "a", "d", "r"])
+            assert cex is not None
+            assert re.fullmatch("c[ad]*r", "".join(cex)) is None
+
+
+class TestSynthesis:
+    def test_completes_the_cadplusr_sketch(self):
+        with AutomataSession() as session:
+            session.define(SKETCH)
+            forms = session.synthesize_against_regex(
+                "M", "^c[ad]+r$", 4, ["c", "a", "d", "r"])
+            assert forms is not None
+            assert len(forms) >= 7  # one resolved hole per choose site

@@ -1,0 +1,199 @@
+"""Tests for the IFCL SDSL: machine semantics, merging shape, EENI."""
+
+import pytest
+
+from repro.sym import fresh_bool, fresh_int, ops, set_default_int_width
+from repro.sym.values import SymInt, Union
+from repro.vm.context import VM
+from repro.sdsl.ifcl import (
+    BUGGY_MACHINES,
+    CORRECT_MACHINES,
+    MachineState,
+    SymbolicProgram,
+    eeni_check,
+    eeni_thunks,
+)
+from repro.sdsl.ifcl.machine import (
+    ADD, BASIC_OPS, HALT, LOAD, NOOP, POP, PUSH, STORE,
+    Semantics, entry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _width5():
+    from repro.sym import default_int_width
+    old = default_int_width()
+    set_default_int_width(5)
+    yield
+    set_default_int_width(old)
+
+
+def concrete_program(*instructions):
+    """Build a concrete program: [(opcode, value, label), ...]."""
+    return tuple((op, value, label) for op, value, label in instructions)
+
+
+def run_concrete(semantics, program, steps=None):
+    state = MachineState.initial(((0, False), (0, False)))
+    with VM():
+        return semantics.run(state, program,
+                             steps if steps is not None else
+                             len(program) + 1)
+
+
+class TestConcreteExecution:
+    def test_push_then_fall_off_halts(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program((PUSH, 7, False)))
+        assert final.halted is True
+        assert final.crashed is False
+        assert final.stack == (entry(7, False),)
+
+    def test_halt_instruction(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program(
+            (HALT, 0, False), (PUSH, 1, False)))
+        assert final.halted is True
+        assert final.stack == ()  # Push never ran
+
+    def test_pop_underflow_crashes(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program((POP, 0, False)))
+        assert final.crashed is True
+
+    def test_add_joins_labels(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program(
+            (PUSH, 2, False), (PUSH, 3, True), (ADD, 0, False)))
+        assert final.halted is True
+        tag, value, label = final.stack[0]
+        assert value == 5
+        assert label is True  # high taints the sum
+
+    def test_store_load_roundtrip(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program(
+            (PUSH, 9, False),    # value
+            (PUSH, 1, False),    # address
+            (STORE, 0, False),
+            (PUSH, 1, False),
+            (LOAD, 0, False)))
+        assert final.halted is True
+        assert final.mem[1] == (9, False)
+        assert final.stack[0] == entry(9, False)
+
+    def test_store_bad_address_crashes(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program(
+            (PUSH, 0, False), (PUSH, 7, False), (STORE, 0, False)))
+        assert final.crashed is True
+
+    def test_no_sensitive_upgrade_crashes(self):
+        """Store through a high address into a low cell must crash."""
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program(
+            (PUSH, 0, False), (PUSH, 1, True), (STORE, 0, False)))
+        assert final.crashed is True
+
+    def test_b4_skips_the_nsu_check(self):
+        final = run_concrete(BUGGY_MACHINES["B4"], concrete_program(
+            (PUSH, 0, False), (PUSH, 1, True), (STORE, 0, False)))
+        assert final.halted is True
+        assert final.mem[1][1] is True  # label moved to a secret cell
+
+    def test_unknown_opcode_crashes(self):
+        sem = Semantics(BASIC_OPS)
+        final = run_concrete(sem, concrete_program((99, 0, False)))
+        assert final.crashed is True
+
+
+class TestSymbolicExecutionShape:
+    def test_symbolic_opcode_merges_states(self):
+        """One step on a symbolic opcode creates stack-length unions."""
+        sem = Semantics(BASIC_OPS)
+        opcode = fresh_int("so")
+        program = ((opcode, 1, False),)
+        state = MachineState.initial(((0, False), (0, False)))
+        with VM() as vm:
+            vm.assert_(ops.and_(ops.ge(opcode, 0), ops.lt(opcode, 7)))
+            stepped = sem.step(state, program)
+            assert isinstance(stepped, MachineState)
+            # Push grows the stack, others leave it empty: a union.
+            assert isinstance(stepped.stack, Union)
+            assert vm.stats.joins > 0
+
+    def test_state_merging_is_fieldwise(self):
+        with VM():
+            cond = fresh_bool("sm")
+            state_a = MachineState.initial(((1, False), (0, False)))
+            state_b = MachineState.initial(((2, False), (0, False)))
+            from repro.sym.merge import merge
+            merged = merge(cond, state_a, state_b)
+            assert isinstance(merged, MachineState)
+            assert isinstance(merged.mem[0][0], SymInt)
+            assert merged.mem[1] == (0, False)
+
+    def test_union_cardinality_grows_polynomially(self):
+        """Fig. 10's driver: cardinality sums across bounds are not
+        exponential in the number of joins."""
+        sums = []
+        joins = []
+        for length in (1, 2, 3):
+            setup, check, _ = eeni_thunks(BUGGY_MACHINES["B1"], length)
+            with VM() as vm:
+                vm.stats.start()
+                setup()
+                check()
+                vm.stats.stop()
+            sums.append(vm.stats.union_cardinality_sum)
+            joins.append(vm.stats.joins)
+        assert sums[0] < sums[1] < sums[2]
+        # Polynomial, not exponential: ratio sum/joins² stays bounded.
+        assert sums[2] <= 5 * (joins[2] ** 2)
+
+
+class TestSymbolicProgram:
+    def test_decoding(self):
+        from repro.queries.outcome import Model
+        from repro.smt.solver import Model as SmtModel
+        program = SymbolicProgram(Semantics(BASIC_OPS), 2)
+        bindings = {
+            program.opcodes[0].term: 1, program.values_a[0].term: 3,
+            program.values_b[0].term: 4, program.labels[0].term: True,
+            program.opcodes[1].term: 6, program.values_a[1].term: 0,
+            program.values_b[1].term: 0,
+        }
+        decoded = program.decode(Model(SmtModel(bindings)))
+        assert decoded == ["Push 3|4@H", "Halt 0|0@L"]
+
+    def test_well_formedness_constrains_opcodes(self):
+        with VM() as vm:
+            program = SymbolicProgram(Semantics(BASIC_OPS), 1)
+            program.assume_well_formed()
+            assert len(vm.assertions) == 2  # opcode range + low agreement
+
+
+class TestEeni:
+    def test_correct_basic_machine_secure_at_3(self):
+        result = eeni_check(CORRECT_MACHINES["basic"], 3)
+        assert result.status == "secure"
+        assert result.is_secure
+
+    def test_b2_insecure_at_3(self):
+        result = eeni_check(BUGGY_MACHINES["B2"], 3)
+        assert result.status == "insecure"
+        assert result.counterexample is not None
+        assert any("Store" in line for line in result.counterexample)
+
+    def test_b4_insecure_at_3(self):
+        result = eeni_check(BUGGY_MACHINES["B4"], 3)
+        assert result.status == "insecure"
+
+    def test_counterexample_uses_a_high_immediate(self):
+        result = eeni_check(BUGGY_MACHINES["B2"], 3)
+        assert any("@H" in line for line in result.counterexample)
+
+    def test_stats_populated(self):
+        result = eeni_check(BUGGY_MACHINES["B2"], 3)
+        assert result.stats.joins > 0
+        assert result.stats.unions_created > 0

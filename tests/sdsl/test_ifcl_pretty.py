@@ -1,0 +1,53 @@
+"""Tests for the IFCL pretty printer."""
+
+from repro.sym import fresh_bool, fresh_int, merge, set_default_int_width
+from repro.vm.context import VM
+from repro.sdsl.ifcl import MachineState
+from repro.sdsl.ifcl.machine import HALT, PUSH, entry, frame
+from repro.sdsl.ifcl.pretty import (
+    render_cell,
+    render_program,
+    render_stack_entry,
+    render_state,
+)
+
+
+class TestRendering:
+    def test_cells(self):
+        assert render_cell((3, False)) == "3@L"
+        assert render_cell((7, True)) == "7@H"
+
+    def test_symbolic_cell(self):
+        with VM():
+            rendered = render_cell((fresh_int("pc_v"), fresh_bool("pc_l")))
+            assert "@?" in rendered
+
+    def test_stack_entries(self):
+        assert render_stack_entry(entry(5, False)) == "5@L"
+        assert render_stack_entry(frame(2, True)) == "ret(2)@H"
+
+    def test_state_line(self):
+        state = MachineState.initial(((0, False), (1, True)))
+        state = state.replace(stack=(entry(9, False),))
+        line = render_state(state)
+        assert "pc=0@L" in line
+        assert "running" in line
+        assert "9@L" in line
+        assert "1@H" in line
+
+    def test_halted_and_crashed(self):
+        state = MachineState.initial(((0, False),) * 2)
+        assert "halted" in render_state(state.replace(halted=True))
+        assert "crashed" in render_state(state.replace(crashed=True))
+
+    def test_union_fields_fall_back_to_repr(self):
+        with VM():
+            stack_union = merge(fresh_bool(), (entry(1, False),), ())
+            state = MachineState.initial(((0, False),) * 2)
+            line = render_state(state.replace(stack=stack_union))
+            assert "Union" in line
+
+    def test_program(self):
+        text = render_program([(PUSH, 3, True), (HALT, 0, False)])
+        assert "0: Push 3@H" in text
+        assert "1: Halt 0@L" in text

@@ -1,0 +1,154 @@
+"""Tests for the WEBSYNTH SDSL."""
+
+import pytest
+
+from repro.sym import fresh_int, set_default_int_width
+from repro.sym.values import SymBool
+from repro.vm.context import VM
+from repro.sdsl.websynth import (
+    HtmlNode,
+    SITE_SPECS,
+    SymbolicXPath,
+    concrete_matches,
+    generate_site,
+    synthesize_xpath,
+    tree_depth,
+    tree_size,
+    xpath_selects,
+)
+from repro.sdsl.websynth.tree import render_html
+from repro.sdsl.websynth.xpath import token_vocabulary
+
+
+@pytest.fixture(autouse=True)
+def _width16():
+    from repro.sym import default_int_width
+    old = default_int_width()
+    set_default_int_width(16)
+    yield
+    set_default_int_width(old)
+
+
+def sample_page():
+    return HtmlNode("html", (
+        HtmlNode("body", (
+            HtmlNode("div", (
+                HtmlNode("span", text="alpha"),
+                HtmlNode("span", text="beta"),
+            )),
+            HtmlNode("div", (
+                HtmlNode("p", text="noise"),
+                HtmlNode("span", text="gamma"),
+            )),
+        )),
+    ))
+
+
+class TestTree:
+    def test_size_and_depth(self):
+        page = sample_page()
+        assert tree_size(page) == 8
+        assert tree_depth(page) == 4
+
+    def test_walk_order(self):
+        tags = [node.tag for node in sample_page().walk()]
+        assert tags[0] == "html"
+        assert tags.count("span") == 3
+
+    def test_texts(self):
+        assert set(sample_page().texts()) == {"alpha", "beta", "gamma",
+                                              "noise"}
+
+    def test_render_html(self):
+        rendered = render_html(sample_page())
+        assert "<html>" in rendered and "alpha" in rendered
+
+    def test_vocabulary(self):
+        assert token_vocabulary(sample_page()) == \
+            ("html", "body", "div", "span", "p")
+
+
+class TestConcreteXPath:
+    def test_matches(self):
+        page = sample_page()
+        assert concrete_matches(page, ["body", "div", "span"]) == \
+            ["alpha", "beta", "gamma"]
+        assert concrete_matches(page, ["body", "div", "p"]) == ["noise"]
+        assert concrete_matches(page, ["body", "nothing"]) == []
+
+
+class TestSymbolicInterpreter:
+    def test_selects_builds_boolean(self):
+        page = sample_page()
+        with VM() as vm:
+            xpath = SymbolicXPath(token_vocabulary(page), 3)
+            xpath.assume_well_formed()
+            reached = xpath_selects(page, xpath, 0, "alpha")
+            assert isinstance(reached, SymBool)
+            assert vm.stats.joins > 0
+            # Zero unions: the Table 4 signature of WEBSYNTH.
+            assert vm.stats.unions_created == 0
+
+    def test_unreachable_text_is_false(self):
+        page = sample_page()
+        with VM():
+            xpath = SymbolicXPath(token_vocabulary(page), 3)
+            xpath.assume_well_formed()
+            reached = xpath_selects(page, xpath, 0, "no-such-text")
+            assert reached is False or isinstance(reached, SymBool)
+
+
+class TestSynthesis:
+    def test_recovers_the_path(self):
+        page = sample_page()
+        result = synthesize_xpath(page, ["alpha", "beta", "gamma"])
+        assert result.status == "sat"
+        assert result.xpath == ("body", "div", "span")
+
+    def test_single_example_may_overfit_but_selects_it(self):
+        page = sample_page()
+        result = synthesize_xpath(page, ["noise"])
+        assert result.status == "sat"
+        assert "noise" in concrete_matches(page, result.xpath)
+
+    def test_impossible_examples(self):
+        page = sample_page()
+        # alpha and noise live under different leaf tags: no single XPath.
+        result = synthesize_xpath(page, ["alpha", "noise"])
+        assert result.status == "unsat"
+
+    def test_missing_example_text(self):
+        result = synthesize_xpath(sample_page(), ["never-present"])
+        assert result.status == "unsat"
+
+
+class TestSyntheticSites:
+    def test_spec_table_matches_paper(self):
+        by_name = {spec.name: spec for spec in SITE_SPECS}
+        assert by_name["iTunes"].paper_nodes == 1104
+        assert by_name["IMDb"].paper_depth == 20
+        assert by_name["AlAnon"].paper_tokens == 161
+
+    def test_generated_shape_roughly_matches(self):
+        spec = SITE_SPECS[0]
+        root, path, examples = generate_site(spec, scale=0.1)
+        assert tree_size(root) >= 16
+        assert len(examples) == 4
+        # Ground truth actually selects the examples.
+        got = concrete_matches(root, path)
+        assert all(example in got for example in examples)
+
+    def test_generation_is_deterministic(self):
+        spec = SITE_SPECS[1]
+        first = generate_site(spec, scale=0.05, seed=3)
+        second = generate_site(spec, scale=0.05, seed=3)
+        assert first[1] == second[1]
+        assert tree_size(first[0]) == tree_size(second[0])
+
+    def test_end_to_end_synthesis_on_synthetic_site(self):
+        root, path, examples = generate_site(SITE_SPECS[0], scale=0.08)
+        result = synthesize_xpath(root, examples)
+        assert result.status == "sat"
+        got = concrete_matches(root, result.xpath)
+        assert all(example in got for example in examples)
+        assert result.stats.unions_created == 0  # Table 4 shape

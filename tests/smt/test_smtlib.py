@@ -1,0 +1,90 @@
+"""Tests for SMT-LIB 2 export."""
+
+import re
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.smtlib import to_smtlib
+
+
+def bv(value, width=4):
+    return T.bv_const(value, width)
+
+
+class TestExport:
+    def test_declarations_and_assertion(self):
+        x = T.bv_var("ex_x", 4)
+        script = to_smtlib([T.mk_ult(x, bv(3))])
+        assert "(set-logic QF_BV)" in script
+        assert "(declare-const ex_x (_ BitVec 4))" in script
+        assert "(assert (bvult ex_x (_ bv3 4)))" in script
+        assert script.rstrip().endswith("(check-sat)")
+
+    def test_boolean_variables(self):
+        p, q = T.bool_var("ex_p"), T.bool_var("ex_q")
+        script = to_smtlib([T.mk_or(p, T.mk_not(q))])
+        assert "(declare-const ex_p Bool)" in script
+        assert "(declare-const ex_q Bool)" in script
+
+    def test_constants(self):
+        script = to_smtlib([T.mk_eq(T.bv_var("ex_c", 8), bv(255, 8))])
+        assert "(_ bv255 8)" in script
+
+    def test_each_variable_declared_once(self):
+        x = T.bv_var("ex_once", 4)
+        script = to_smtlib([T.mk_ult(x, bv(3)), T.mk_ult(bv(0), x)])
+        assert script.count("declare-const ex_once") == 1
+
+    def test_shared_subterms_are_let_bound(self):
+        x = T.bv_var("ex_share", 4)
+        shared = T.mk_mul(x, x)
+        formula = T.mk_and(T.mk_ult(shared, bv(8)),
+                           T.mk_eq(shared, bv(4)))
+        script = to_smtlib([formula])
+        assert "define-fun .t" in script
+        # The shared multiplication is rendered exactly once.
+        assert script.count("(bvmul ex_share ex_share)") == 1
+
+    def test_weird_names_are_quoted(self):
+        x = T.bv_var("choose weird!", 4)
+        script = to_smtlib([T.mk_eq(x, bv(0))])
+        assert "|choose weird!|" in script
+
+    def test_get_model_flag(self):
+        script = to_smtlib([T.TRUE], get_model=True)
+        assert "(get-model)" in script
+
+    def test_no_check_sat(self):
+        script = to_smtlib([T.TRUE], check_sat=False)
+        assert "check-sat" not in script
+
+    def test_all_operators_render(self):
+        # bvsub/bvneg are normalized into bvadd/bvmul by the linear normal
+        # form, so they never reach the exporter.
+        x, y = T.bv_var("op_x", 4), T.bv_var("op_y", 4)
+        formulas = [
+            T.mk_eq(T.mk_add(x, y), T.mk_mul(x, y)),
+            T.mk_eq(T.mk_udiv(x, y), T.mk_urem(x, y)),
+            T.mk_eq(T.mk_sdiv(x, y), T.mk_srem(x, y)),
+            T.mk_eq(T.mk_smod(x, y), T.mk_bvand(x, y)),
+            T.mk_eq(T.mk_bvor(x, y), T.mk_bvxor(x, y)),
+            T.mk_eq(T.mk_bvnot(x), T.mk_shl(x, y)),
+            T.mk_eq(T.mk_lshr(x, y), T.mk_ashr(x, y)),
+            T.mk_ule(x, y), T.mk_slt(x, y), T.mk_sle(x, y),
+            T.mk_xor(T.mk_ult(x, y), T.mk_ule(y, x)),
+        ]
+        script = to_smtlib(formulas)
+        for op_name in ("bvadd", "bvmul", "bvudiv", "bvurem",
+                        "bvsdiv", "bvsrem", "bvsmod", "bvand", "bvor",
+                        "bvxor", "bvnot", "bvshl", "bvlshr", "bvashr",
+                        "bvule", "bvslt", "bvsle", "xor"):
+            assert op_name in script, op_name
+
+    def test_script_is_parenthesis_balanced(self):
+        x = T.bv_var("bal_x", 4)
+        formula = T.mk_ite(T.mk_ult(x, bv(2)),
+                           T.mk_and(T.mk_eq(x, bv(1)), T.TRUE),
+                           T.mk_eq(T.mk_mul(x, x), bv(4)))
+        script = to_smtlib([formula])
+        assert script.count("(") == script.count(")")

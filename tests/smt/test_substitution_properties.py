@@ -1,0 +1,89 @@
+"""Property tests tying substitution, evaluation, and solving together."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+
+WIDTH = 4
+MASK = (1 << WIDTH) - 1
+
+
+@st.composite
+def term_trees(draw, depth=3):
+    """Random bitvector terms over variables a, b and small constants."""
+    a = T.bv_var("prop_a", WIDTH)
+    b = T.bv_var("prop_b", WIDTH)
+
+    def build(level):
+        if level == 0 or draw(st.booleans()):
+            choice = draw(st.integers(min_value=0, max_value=3))
+            if choice == 0:
+                return a
+            if choice == 1:
+                return b
+            return T.bv_const(draw(st.integers(min_value=0, max_value=MASK)),
+                              WIDTH)
+        op = draw(st.sampled_from([T.mk_add, T.mk_sub, T.mk_mul,
+                                   T.mk_bvand, T.mk_bvor, T.mk_bvxor]))
+        return op(build(level - 1), build(level - 1))
+
+    return build(depth)
+
+
+class TestSubstitution:
+    @given(term_trees(), st.integers(min_value=0, max_value=MASK),
+           st.integers(min_value=0, max_value=MASK))
+    @settings(max_examples=100, deadline=None)
+    def test_full_substitution_equals_evaluation(self, term, va, vb):
+        """Substituting all variables constant-folds to evaluate's answer."""
+        a = T.bv_var("prop_a", WIDTH)
+        b = T.bv_var("prop_b", WIDTH)
+        env = {a: T.bv_const(va, WIDTH), b: T.bv_const(vb, WIDTH)}
+        substituted = T.substitute(term, env)
+        assert substituted.is_const
+        assert substituted.const_value() == T.evaluate(term, {a: va, b: vb})
+
+    @given(term_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_identity_substitution_is_noop(self, term):
+        assert T.substitute(term, {}) is term
+
+    @given(term_trees(), st.integers(min_value=0, max_value=MASK))
+    @settings(max_examples=50, deadline=None)
+    def test_partial_substitution_commutes(self, term, va):
+        """Substituting a then b equals substituting both at once."""
+        a = T.bv_var("prop_a", WIDTH)
+        b = T.bv_var("prop_b", WIDTH)
+        staged = T.substitute(T.substitute(term, {a: T.bv_const(va, WIDTH)}),
+                              {b: T.bv_const(1, WIDTH)})
+        at_once = T.substitute(term, {a: T.bv_const(va, WIDTH),
+                                      b: T.bv_const(1, WIDTH)})
+        assert staged is at_once
+
+    @given(term_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_solver_models_satisfy_equations(self, term):
+        """Any model of `term == c` evaluates term to c."""
+        a = T.bv_var("prop_a", WIDTH)
+        b = T.bv_var("prop_b", WIDTH)
+        target = T.bv_var("prop_t", WIDTH)
+        solver = SmtSolver()
+        solver.add_assertion(T.mk_eq(term, target))
+        if solver.check() is SmtResult.SAT:
+            model = solver.model([a, b, target])
+            assert T.evaluate(term, {a: model[a], b: model[b]}) == \
+                model[target]
+
+
+class TestCegisSubstitutionContract:
+    """The synthesis loop depends on substitution shrinking formulas."""
+
+    def test_counterexample_substitution_folds_inputs_away(self):
+        x = T.bv_var("cs_x", WIDTH)  # input
+        h = T.bv_var("cs_h", WIDTH)  # hole
+        goal = T.mk_eq(T.mk_mul(x, h), T.mk_add(x, x))
+        bound = T.substitute(goal, {x: T.bv_const(3, WIDTH)})
+        assert x not in T.term_vars(bound)
+        assert h in T.term_vars(bound)

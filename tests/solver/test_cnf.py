@@ -1,0 +1,83 @@
+"""Tests for the CNF container and DIMACS round-tripping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import CNF, SatSolver, SatResult, parse_dimacs, to_dimacs
+
+
+class TestCnf:
+    def test_new_var_sequence(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([3, -5])
+        assert cnf.num_vars == 5
+        assert len(cnf) == 1
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_extend(self):
+        cnf = CNF()
+        cnf.extend([[1], [2, -1]])
+        assert len(cnf) == 2
+
+    def test_repr(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        assert "vars=2" in repr(cnf)
+
+
+class TestDimacs:
+    def test_render(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2])
+        text = to_dimacs(cnf)
+        assert text.startswith("p cnf 2 2\n")
+        assert "1 -2 0" in text
+
+    def test_parse(self):
+        cnf = parse_dimacs("""
+            c a comment
+            p cnf 3 2
+            1 -2 0
+            2 3 0
+        """)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [[1, -2], [2, 3]]
+
+    def test_parse_malformed_header(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_round_trip(self):
+        cnf = CNF()
+        cnf.extend([[1, 2, -3], [-1], [3, 2]])
+        again = parse_dimacs(to_dimacs(cnf))
+        assert again.clauses == cnf.clauses
+        assert again.num_vars == cnf.num_vars
+
+    @given(st.lists(
+        st.lists(st.integers(min_value=1, max_value=6).flatmap(
+            lambda v: st.sampled_from([v, -v])), min_size=1, max_size=4),
+        min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_solver_agrees_across_round_trip(self, clauses):
+        cnf = CNF()
+        cnf.extend(clauses)
+        parsed = parse_dimacs(to_dimacs(cnf))
+
+        def decide(instance):
+            solver = SatSolver()
+            ok = all(solver.add_clause(c) for c in instance.clauses)
+            return solver.solve() if ok else SatResult.UNSAT
+
+        assert decide(cnf) == decide(parsed)

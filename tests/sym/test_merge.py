@@ -1,0 +1,254 @@
+"""Tests for the type-driven merging function µ (Figure 9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.sym import fresh_bool, fresh_int, merge, merge_many
+from repro.sym.merge import class_key, merge_strategy
+from repro.sym.values import Box, SymBool, SymInt, Union
+
+
+def guards_are_disjoint(union: Union) -> bool:
+    """Check pairwise disjointness of guards with the solver."""
+    from repro.smt.solver import SmtResult, SmtSolver
+    guards = union.guards()
+    for i in range(len(guards)):
+        for j in range(i + 1, len(guards)):
+            solver = SmtSolver()
+            solver.add_assertion(T.mk_and(guards[i], guards[j]))
+            if solver.check() is SmtResult.SAT:
+                return False
+    return True
+
+
+class TestConcreteConditions:
+    def test_true_picks_left(self):
+        assert merge(True, 1, 2) == 1
+
+    def test_false_picks_right(self):
+        assert merge(False, 1, 2) == 2
+
+    def test_identical_values_short_circuit(self):
+        value = ("a", "b")
+        assert merge(fresh_bool(), value, value) is value
+
+
+class TestPrimitiveMerging:
+    def test_integers_merge_logically(self):
+        b = fresh_bool("mb")
+        merged = merge(b, 1, 2)
+        assert isinstance(merged, SymInt)
+        assert merged.term.op == T.OP_ITE
+
+    def test_booleans_merge_logically(self):
+        b = fresh_bool("mb2")
+        merged = merge(b, True, False)
+        assert isinstance(merged, SymBool)
+        assert merged.term is b.term
+
+    def test_symbolic_integers_merge(self):
+        b, x, y = fresh_bool(), fresh_int("mx"), fresh_int("my")
+        merged = merge(b, x, y)
+        assert isinstance(merged, SymInt)
+
+    def test_int_bool_do_not_merge_into_primitive(self):
+        merged = merge(fresh_bool(), 1, True)
+        assert isinstance(merged, Union)
+        assert len(merged) == 2
+
+
+class TestListMerging:
+    def test_same_length_lists_merge_elementwise(self):
+        b, x = fresh_bool(), fresh_int()
+        merged = merge(b, (1, x), (2, x))
+        assert isinstance(merged, tuple)
+        assert isinstance(merged[0], SymInt)
+        assert merged[1] is x
+
+    def test_different_length_lists_form_union(self):
+        merged = merge(fresh_bool(), (1,), (1, 2))
+        assert isinstance(merged, Union)
+        assert sorted(len(v) for v in merged.values()) == [1, 2]
+
+    def test_nested_lists_merge_structurally(self):
+        b = fresh_bool()
+        merged = merge(b, ((1,), 2), ((3,), 4))
+        assert isinstance(merged, tuple)
+        assert isinstance(merged[0], tuple)
+        assert isinstance(merged[0][0], SymInt)
+
+    def test_revpos_shape(self):
+        """Figure 6: filtering n symbolic values yields n+1 merged lists."""
+        from repro.sym import ops
+        xs = [fresh_int(f"rp{i}") for i in range(3)]
+        ps = ()
+        for x in xs:
+            consed = ps.map(lambda l, x=x: (x,) + l) \
+                if isinstance(ps, Union) else (x,) + ps
+            ps = merge(ops.gt(x, 0), consed, ps)
+        assert isinstance(ps, Union)
+        assert sorted(len(v) for v in ps.values()) == [0, 1, 2, 3]
+        assert guards_are_disjoint(ps)
+
+
+class TestPointerMerging:
+    def test_same_box_merges_to_itself(self):
+        box = Box(1)
+        assert merge(fresh_bool(), box, box) is box
+
+    def test_distinct_boxes_form_union(self):
+        merged = merge(fresh_bool(), Box(1), Box(2))
+        assert isinstance(merged, Union)
+
+    def test_procedures_merge_by_identity(self):
+        def f():
+            return 1
+        def g():
+            return 2
+        assert merge(fresh_bool(), f, f) is f
+        assert isinstance(merge(fresh_bool(), f, g), Union)
+
+
+class TestAtomMerging:
+    def test_equal_strings_merge(self):
+        assert merge(fresh_bool(), "abc", "abc") == "abc"
+
+    def test_different_strings_form_union(self):
+        merged = merge(fresh_bool(), "abc", "xyz")
+        assert isinstance(merged, Union)
+
+    def test_none_merges_with_none(self):
+        assert merge(fresh_bool(), None, None) is None
+
+
+class TestUnionMerging:
+    def _union_ab(self):
+        return merge(fresh_bool("ub"), (1,), (1, 2))
+
+    def test_union_with_matching_member(self):
+        union = self._union_ab()
+        merged = merge(fresh_bool("um"), union, (9,))
+        assert isinstance(merged, Union)
+        # Still one member per class: lengths {1, 2}.
+        assert sorted(len(v) for v in merged.values()) == [1, 2]
+        assert guards_are_disjoint(merged)
+
+    def test_union_with_unmatched_value(self):
+        union = self._union_ab()
+        merged = merge(fresh_bool(), union, (1, 2, 3))
+        assert sorted(len(v) for v in merged.values()) == [1, 2, 3]
+        assert guards_are_disjoint(merged)
+
+    def test_union_union_merges_by_class(self):
+        left = merge(fresh_bool(), (1,), (1, 2))
+        right = merge(fresh_bool(), (9,), (8, 7, 6))
+        merged = merge(fresh_bool(), left, right)
+        assert sorted(len(v) for v in merged.values()) == [1, 2, 3]
+        assert guards_are_disjoint(merged)
+
+    def test_nonunion_union_flips(self):
+        union = self._union_ab()
+        merged = merge(fresh_bool(), (9, 9, 9), union)
+        assert sorted(len(v) for v in merged.values()) == [1, 2, 3]
+
+    def test_unions_never_nest(self):
+        union = self._union_ab()
+        other = merge(fresh_bool(), "a", (1, 2, 3))
+        merged = merge(fresh_bool(), union, other)
+        assert all(not isinstance(v, Union) for v in merged.values())
+
+
+class TestMergeMany:
+    def test_single_entry(self):
+        assert merge_many([(T.TRUE, 42)]) == 42
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_many([])
+
+    def test_primitive_group_merges_to_ite_chain(self):
+        guards = [fresh_bool(f"g{i}").term for i in range(3)]
+        merged = merge_many(list(zip(guards, [10, 20, 30])))
+        assert isinstance(merged, SymInt)
+
+    def test_mixed_classes_group_into_union(self):
+        guards = [fresh_bool(f"h{i}").term for i in range(3)]
+        merged = merge_many(list(zip(guards, [1, (2,), (3, 4)])))
+        assert isinstance(merged, Union)
+        assert len(merged) == 3
+
+    def test_union_entries_are_flattened(self):
+        union = merge(fresh_bool(), (1,), (1, 2))
+        merged = merge_many([(fresh_bool().term, union),
+                             (fresh_bool().term, (5, 6, 7))])
+        assert all(not isinstance(v, Union) for v in merged.values())
+
+    def test_same_length_lists_merge_into_one(self):
+        guards = [fresh_bool(f"k{i}").term for i in range(2)]
+        merged = merge_many(list(zip(guards, [(1, 2), (3, 4)])))
+        assert isinstance(merged, tuple)
+        assert len(merged) == 2
+
+
+class TestClassKey:
+    def test_bool_and_int_are_different_classes(self):
+        assert class_key(True) != class_key(1)
+
+    def test_symbolic_and_concrete_int_share_class(self):
+        assert class_key(fresh_int()) == class_key(3)
+
+    def test_list_class_includes_length(self):
+        assert class_key((1,)) != class_key((1, 2))
+        assert class_key((1,)) == class_key((9,))
+
+    def test_union_has_no_class(self):
+        union = merge(fresh_bool(), (1,), (1, 2))
+        with pytest.raises(TypeError):
+            class_key(union)
+
+
+class TestMergeStrategy:
+    def test_logical_strategy_disables_structural_list_merge(self):
+        with merge_strategy("logical"):
+            merged = merge(fresh_bool(), (1,), (2,))
+            assert isinstance(merged, Union)
+        # Back to type-driven: same-length lists merge structurally.
+        merged = merge(fresh_bool(), (1,), (2,))
+        assert isinstance(merged, tuple)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            merge_strategy("optimistic")
+
+
+class TestSemanticCorrectness:
+    """µ must denote: result == u when cond else v — checked via models."""
+
+    @given(st.integers(min_value=-4, max_value=3),
+           st.integers(min_value=-4, max_value=3),
+           st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_primitive_merge_denotes_selection(self, a, b, pick):
+        from repro.queries.outcome import Model
+        from repro.smt.solver import Model as SmtModel
+        cond = fresh_bool("sem")
+        merged = merge(cond, a, b)
+        model = Model(SmtModel({cond.term: pick}))
+        expected = a if pick else b
+        assert model.evaluate(merged) == expected
+
+    @given(st.lists(st.integers(min_value=-4, max_value=3),
+                    min_size=0, max_size=3),
+           st.lists(st.integers(min_value=-4, max_value=3),
+                    min_size=0, max_size=3),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_list_merge_denotes_selection(self, left, right, pick):
+        from repro.queries.outcome import Model
+        from repro.smt.solver import Model as SmtModel
+        cond = fresh_bool("sem2")
+        merged = merge(cond, tuple(left), tuple(right))
+        model = Model(SmtModel({cond.term: pick}))
+        expected = tuple(left) if pick else tuple(right)
+        assert model.evaluate(merged) == expected

@@ -1,0 +1,179 @@
+"""Tests for the lifted primitive operations (concrete folding + lifting)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym import fresh_bool, fresh_int, merge, set_default_int_width, ops
+from repro.sym.values import SymBool, SymInt, Union
+
+small_ints = st.integers(min_value=-8, max_value=7)
+
+
+class TestConcreteFolding:
+    """With concrete operands every op must produce a plain Python value
+    with finite-precision (default-width) semantics."""
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=50, deadline=None)
+    def test_add_sub_mul(self, a, b):
+        assert ops.add(a, b) == a + b
+        assert ops.sub(a, b) == a - b
+        assert ops.mul(a, b) == a * b
+
+    def test_wrapping_at_width(self):
+        from repro.sym import default_int_width, set_default_int_width
+        old = default_int_width()
+        try:
+            set_default_int_width(4)
+            assert ops.add(7, 1) == -8  # overflow wraps in 4 bits
+            assert ops.mul(4, 4) == 0
+        finally:
+            set_default_int_width(old)
+
+    def test_truncating_division(self):
+        assert ops.div(7, 2) == 3
+        assert ops.div(-7, 2) == -3     # truncates toward zero
+        assert ops.rem(-7, 2) == -1     # remainder keeps dividend sign
+        assert ops.modulo(-7, 2) == 1   # modulo keeps divisor sign
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ops.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            ops.rem(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            ops.modulo(1, 0)
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=50, deadline=None)
+    def test_comparisons(self, a, b):
+        assert ops.lt(a, b) == (a < b)
+        assert ops.le(a, b) == (a <= b)
+        assert ops.gt(a, b) == (a > b)
+        assert ops.ge(a, b) == (a >= b)
+        assert ops.num_eq(a, b) == (a == b)
+
+    def test_bitwise(self):
+        assert ops.bitand(6, 3) == 2
+        assert ops.bitor(6, 3) == 7
+        assert ops.bitxor(6, 3) == 5
+        assert ops.bitnot(0) == -1
+
+    def test_boolean_connectives(self):
+        assert ops.and_(True, True) is True
+        assert ops.and_(True, False) is False
+        assert ops.or_(False, False) is False
+        assert ops.or_(False, True) is True
+        assert ops.not_(False) is True
+        assert ops.implies(False, False) is True
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            ops.add(1, "x")
+        with pytest.raises(TypeError):
+            ops.add(True, 1)  # booleans are not numbers
+        with pytest.raises(TypeError):
+            ops.and_(1, True)
+        with pytest.raises(TypeError):
+            ops.not_(0)
+
+
+class TestSymbolicLifting:
+    def test_symbolic_operand_builds_term(self):
+        x = fresh_int("ox")
+        result = ops.add(x, 1)
+        assert isinstance(result, SymInt)
+
+    def test_short_circuit_with_constants(self):
+        b = fresh_bool()
+        assert ops.and_(False, b) is False
+        assert ops.or_(True, b) is True
+        assert isinstance(ops.and_(True, b), SymBool)
+
+    def test_symbolic_result_is_satisfiable_correctly(self):
+        x = fresh_int("oy")
+        constraint = ops.num_eq(ops.add(ops.mul(x, 2), 1), 7)
+        solver = SmtSolver()
+        solver.add_assertion(constraint.term)
+        assert solver.check() is SmtResult.SAT
+        assert T.to_signed(solver.model([x.term])[x.term], x.width) == 3
+
+
+class TestSymEqual:
+    def test_primitives(self):
+        assert ops.sym_equal(1, 1) is True
+        assert ops.sym_equal(1, 2) is False
+        assert ops.sym_equal(True, True) is True
+        assert isinstance(ops.sym_equal(fresh_int(), 1), SymBool)
+
+    def test_bool_int_never_equal(self):
+        assert ops.sym_equal(True, 1) is False
+
+    def test_lists_structural(self):
+        assert ops.sym_equal((1, 2), (1, 2)) is True
+        assert ops.sym_equal((1, 2), (1, 3)) is False
+        assert ops.sym_equal((1,), (1, 2)) is False
+        x = fresh_int()
+        symbolic = ops.sym_equal((x, 2), (3, 2))
+        assert isinstance(symbolic, SymBool)
+
+    def test_strings_and_none(self):
+        assert ops.sym_equal("a", "a") is True
+        assert ops.sym_equal("a", "b") is False
+        assert ops.sym_equal(None, None) is True
+        assert ops.sym_equal("a", None) is False
+
+    def test_union_equality_is_guarded(self):
+        union = merge(fresh_bool(), (1,), (1, 2))
+        result = ops.sym_equal(union, (1,))
+        assert isinstance(result, SymBool)
+
+    def test_union_on_right(self):
+        union = merge(fresh_bool(), "x", (1,))
+        assert isinstance(ops.sym_equal("x", union), SymBool)
+
+
+class TestTruthy:
+    def test_booleans_pass_through(self):
+        assert ops.truthy(True) is True
+        assert ops.truthy(False) is False
+        b = fresh_bool()
+        assert ops.truthy(b) is b
+
+    def test_non_booleans_are_true(self):
+        assert ops.truthy(0) is True       # Scheme truthiness: only #f is false
+        assert ops.truthy(()) is True
+        assert ops.truthy("") is True
+
+    def test_union_truthiness(self):
+        union = merge(fresh_bool("tb"), False, (1,))
+        result = ops.truthy(union)
+        assert isinstance(result, SymBool)
+        # The union is truthy exactly when the list member is selected.
+        solver = SmtSolver()
+        solver.add_assertion(result.term)
+        assert solver.check() is SmtResult.SAT
+
+    def test_union_of_true_and_list_is_definitely_truthy(self):
+        # Both members are truthy, so the disjunction folds to True.
+        union = merge(fresh_bool("tc"), True, (1,))
+        assert ops.truthy(union) is True
+
+    def test_union_with_symbolic_bool_member(self):
+        union = merge(fresh_bool("td"), fresh_bool("inner"), (1,))
+        assert isinstance(ops.truthy(union), SymBool)
+
+
+class TestShifts:
+    def test_concrete_shifts(self):
+        assert ops.shl(1, 3) == 8
+        assert ops.lshr(8, 3) == 1
+        assert ops.ashr(-8, 2) == -2
+
+    def test_overshift_is_zero(self):
+        from repro.sym import default_int_width
+        width = default_int_width()
+        assert ops.shl(1, width) == 0
+        assert ops.lshr(1, width) == 0

@@ -1,0 +1,195 @@
+"""Tests for symbolic value wrappers, unions, and constant factories."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.sym import (
+    FreshStream,
+    fresh_bool,
+    fresh_int,
+    set_default_int_width,
+    default_int_width,
+)
+from repro.sym.values import (
+    Box,
+    SymBool,
+    SymInt,
+    SymbolicError,
+    Union,
+    bool_term,
+    int_term,
+    wrap_bool,
+    wrap_int,
+)
+
+
+class TestWrapping:
+    def test_wrap_bool_folds_constants(self):
+        assert wrap_bool(T.TRUE) is True
+        assert wrap_bool(T.FALSE) is False
+        assert isinstance(wrap_bool(T.bool_var("wv")), SymBool)
+
+    def test_wrap_int_folds_constants_signed(self):
+        assert wrap_int(T.bv_const(5, 4)) == 5
+        assert wrap_int(T.bv_const(15, 4)) == -1  # two's complement
+        assert isinstance(wrap_int(T.bv_var("wi", 4)), SymInt)
+
+    def test_bool_term_round_trip(self):
+        b = fresh_bool()
+        assert bool_term(b) is b.term
+        assert bool_term(True) is T.TRUE
+
+    def test_int_term_of_concrete(self):
+        term = int_term(3, width=4)
+        assert term.const_value() == 3
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(TypeError):
+            int_term(True)
+
+
+class TestSymBool:
+    def test_connective_operators(self):
+        a, b = fresh_bool("ba"), fresh_bool("bb")
+        assert isinstance(a & b, SymBool)
+        assert isinstance(a | b, SymBool)
+        assert isinstance(~a, SymBool)
+        assert isinstance(a ^ b, SymBool)
+
+    def test_operators_fold_with_constants(self):
+        a = fresh_bool()
+        assert (a & False) is False
+        assert (a | True) is True
+        assert (a ^ False).term is a.term
+
+    def test_no_concrete_truth_value(self):
+        with pytest.raises(SymbolicError):
+            bool(fresh_bool())
+
+    def test_equality_builds_iff(self):
+        a, b = fresh_bool(), fresh_bool()
+        assert isinstance(a == b, SymBool)
+        same = fresh_bool("same", numbered=False)
+        again = fresh_bool("same", numbered=False)
+        assert (same == again) is True
+
+    def test_hashable(self):
+        a = fresh_bool()
+        assert hash(a) == hash(a.term)
+
+
+class TestSymInt:
+    def test_arithmetic_operators(self):
+        x = fresh_int("xa")
+        assert isinstance(x + 1, SymInt)
+        assert isinstance(1 + x, SymInt)
+        assert isinstance(x - 1, SymInt)
+        assert isinstance(2 - x, SymInt)
+        assert isinstance(x * 3, SymInt)
+        assert isinstance(-x, SymInt)
+        assert isinstance(x // 2, SymInt)
+        assert isinstance(x % 2, SymInt)
+
+    def test_operators_fold_units(self):
+        x = fresh_int()
+        assert (x + 0).term is x.term
+        assert (x * 1).term is x.term
+
+    def test_bitwise_and_shifts(self):
+        x = fresh_int()
+        assert isinstance(x & 3, SymInt)
+        assert isinstance(x | 3, SymInt)
+        assert isinstance(x ^ 3, SymInt)
+        assert isinstance(~x, SymInt)
+        assert isinstance(x << 1, SymInt)
+        assert isinstance(x >> 1, SymInt)
+
+    def test_comparisons_build_symbools(self):
+        x = fresh_int()
+        for expr in (x < 1, x <= 1, x > 1, x >= 1, x == 1, x != 1):
+            assert isinstance(expr, SymBool)
+
+    def test_no_concrete_truth_value(self):
+        with pytest.raises(SymbolicError):
+            bool(fresh_int())
+
+    def test_eq_with_non_number_is_not_implemented(self):
+        x = fresh_int()
+        assert (x == "hello") is False  # Python falls back to identity
+        assert (x == True) is False     # bools are not numbers
+
+    def test_width_respected(self):
+        x = fresh_int("w3", width=3)
+        assert x.width == 3
+        assert (x + 1).width == 3
+
+
+class TestDefaultWidth:
+    def test_set_and_restore(self):
+        old = default_int_width()
+        try:
+            set_default_int_width(6)
+            assert fresh_int().width == 6
+        finally:
+            set_default_int_width(old)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_default_int_width(0)
+
+
+class TestFresh:
+    def test_numbered_names_are_distinct(self):
+        a, b = fresh_int("n"), fresh_int("n")
+        assert a.term is not b.term
+
+    def test_unnumbered_names_are_shared(self):
+        a = fresh_int("fixed", numbered=False)
+        b = fresh_int("fixed", numbered=False)
+        assert a.term is b.term
+
+    def test_stream_iteration(self):
+        stream = FreshStream("s", kind="int", width=4)
+        first, second = next(stream), next(stream)
+        assert first.term is not second.term
+        assert first.width == 4
+
+    def test_bool_stream(self):
+        stream = FreshStream("t", kind="bool")
+        assert isinstance(stream.next(), SymBool)
+
+    def test_bad_stream_kind(self):
+        with pytest.raises(ValueError):
+            FreshStream("u", kind="float")
+
+
+class TestUnion:
+    def test_false_guards_are_dropped(self):
+        union = Union([(T.FALSE, 1), (T.bool_var("ug"), 2)])
+        assert len(union) == 1
+
+    def test_nested_unions_flatten(self):
+        g1, g2, g3 = (T.bool_var(f"uf{i}") for i in range(3))
+        inner = Union([(g1, 1), (g2, (2,))])
+        outer = Union([(g3, inner)])
+        assert len(outer) == 2
+        assert all(not isinstance(v, Union) for v in outer.values())
+
+    def test_map_applies_under_guards(self):
+        g1, g2 = T.bool_var("um1"), T.bool_var("um2")
+        union = Union([(g1, (1,)), (g2, (1, 2))])
+        mapped = union.map(lambda lst: len(lst))
+        assert set(mapped.values()) == {1, 2}
+        assert mapped.guards() == union.guards()
+
+
+class TestBox:
+    def test_read_write_protocol(self):
+        box = Box(10, name="cell")
+        assert box._sym_read(None) == 10
+        box._sym_write_raw(None, 20)
+        assert box.value == 20
+
+    def test_boxes_have_unique_default_names(self):
+        assert Box(1).name != Box(1).name

@@ -1,0 +1,32 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run here (the automata and IFCL walkthroughs
+exercise deeper solver queries and are covered by their SDSL test suites
+and the benchmarks).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ["quickstart", "websynth_scraper",
+                                  "synthcl_matmul"])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{name} printed nothing"
+    assert "status" in output or "==" in output

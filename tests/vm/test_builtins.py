@@ -1,0 +1,231 @@
+"""Tests for the lifted builtin library (rule CO1 behaviours)."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym import fresh_bool, fresh_int, merge, ops
+from repro.sym.values import SymBool, SymInt, Union
+from repro.vm import AssertionFailure, TypeFailure, VM
+from repro.vm import builtins as B
+
+
+def list_union(guard_name="lu"):
+    """A union of a 1-list and a 2-list."""
+    return merge(fresh_bool(guard_name), (1,), (2, 3))
+
+
+class TestConcreteLists:
+    def test_cons_car_cdr(self):
+        lst = B.cons(1, B.cons(2, ()))
+        assert lst == (1, 2)
+        assert B.car(lst) == 1
+        assert B.cdr(lst) == (2,)
+
+    def test_car_of_empty_fails(self):
+        with VM():
+            with pytest.raises(AssertionFailure):
+                B.car(())
+
+    def test_cons_onto_non_list_fails(self):
+        with VM():
+            with pytest.raises(TypeFailure):
+                B.cons(1, 2)
+
+    def test_length_append_reverse(self):
+        assert B.length((1, 2, 3)) == 3
+        assert B.append((1,), (2,), (3,)) == (1, 2, 3)
+        assert B.reverse((1, 2, 3)) == (3, 2, 1)
+
+    def test_null_and_pair_predicates(self):
+        assert B.is_null(()) is True
+        assert B.is_null((1,)) is False
+        assert B.is_pair((1,)) is True
+        assert B.is_pair(()) is False
+        assert B.is_null(5) is False
+
+
+class TestUnionLifting:
+    def test_cons_distributes_over_union(self):
+        with VM() as vm:
+            union = list_union()
+            result = B.cons(9, union)
+            assert isinstance(result, Union)
+            assert sorted(len(v) for v in result.values()) == [2, 3]
+            assert all(v[0] == 9 for v in result.values())
+
+    def test_car_merges_heads(self):
+        with VM() as vm:
+            union = list_union()
+            head = B.car(union)
+            assert isinstance(head, SymInt)  # 1 vs 2 merge logically
+
+    def test_length_merges_logically(self):
+        with VM() as vm:
+            union = list_union()
+            length = B.length(union)
+            assert isinstance(length, SymInt)
+
+    def test_is_null_on_union_with_empty_member(self):
+        with VM():
+            union = merge(fresh_bool(), (), (1,))
+            result = B.is_null(union)
+            assert isinstance(result, SymBool)
+
+    def test_wrong_typed_members_are_excluded(self):
+        """CO1: cons applies only to list members; others become infeasible."""
+        with VM() as vm:
+            union = merge(fresh_bool("wt"), (1,), 42)  # list vs int
+            result = B.cons(0, union)
+            # Only the list member fits: result is concrete.
+            assert result == (0, 1)
+            # And the store says the list member's guard must hold.
+            assert len(vm.assertions) >= 1
+
+    def test_no_member_fits_raises(self):
+        with VM():
+            union = merge(fresh_bool(), 1, True)
+            with pytest.raises(AssertionFailure):
+                B.car(union)
+
+    def test_coverage_assertion_constrains_solver(self):
+        with VM() as vm:
+            union = merge(fresh_bool("cov"), (1,), 42)
+            B.car(union)
+            solver = SmtSolver()
+            for assertion in vm.assertions:
+                solver.add_assertion(assertion)
+            # The int member's guard (~cov) must be unsatisfiable now.
+            guard = union.entries[0][0]
+            solver.add_assertion(T.mk_not(guard))
+            assert solver.check() is SmtResult.UNSAT
+
+
+class TestListRef:
+    def test_concrete_index(self):
+        assert B.list_ref((10, 20, 30), 1) == 20
+
+    def test_out_of_range_concrete(self):
+        with VM():
+            with pytest.raises(AssertionFailure):
+                B.list_ref((1,), 3)
+
+    def test_symbolic_index_merges_elements(self):
+        with VM() as vm:
+            index = fresh_int("ix")
+            element = B.list_ref((10, 20, 30), index)
+            assert isinstance(element, SymInt)
+            assert len(vm.assertions) == 1  # bounds assertion
+
+    def test_symbolic_index_semantics(self):
+        with VM() as vm:
+            index = fresh_int("iy")
+            element = B.list_ref((10, 20, 30), index)
+            solver = SmtSolver()
+            for assertion in vm.assertions:
+                solver.add_assertion(assertion)
+            solver.add_assertion(
+                T.mk_eq(index.term, T.bv_const(2, index.width)))
+            solver.add_assertion(
+                T.mk_not(T.mk_eq(element.term,
+                                 T.bv_const(30, element.width))))
+            assert solver.check() is SmtResult.UNSAT
+
+    def test_bool_index_rejected(self):
+        with VM():
+            with pytest.raises(TypeFailure):
+                B.list_ref((1, 2), True)
+
+
+class TestTakeDrop:
+    def test_concrete(self):
+        assert B.take((1, 2, 3), 2) == (1, 2)
+        assert B.drop((1, 2, 3), 2) == (3,)
+        assert B.take((1, 2, 3), 0) == ()
+
+    def test_symbolic_count_builds_union(self):
+        with VM():
+            count = fresh_int("tk")
+            result = B.take((1, 2, 3), count)
+            assert isinstance(result, Union)
+            assert sorted(len(v) for v in result.values()) == [0, 1, 2, 3]
+
+    def test_out_of_range_concrete(self):
+        with VM():
+            with pytest.raises(AssertionFailure):
+                B.take((1,), 5)
+
+
+class TestTypePredicates:
+    def test_concrete_values(self):
+        assert B.is_boolean(True) is True
+        assert B.is_boolean(1) is False
+        assert B.is_number(1) is True
+        assert B.is_number(True) is False
+        assert B.is_list(()) is True
+        assert B.is_procedure(len) is True
+        assert B.is_union(merge(fresh_bool(), (1,), 2)) is True
+        assert B.is_union(3) is False
+
+    def test_symbolic_wrappers(self):
+        assert B.is_boolean(fresh_bool()) is True
+        assert B.is_number(fresh_int()) is True
+
+    def test_union_type_predicates_are_guarded(self):
+        union = merge(fresh_bool("tp"), (1,), 2)
+        listness = B.is_list(union)
+        assert isinstance(listness, SymBool)
+        numberness = B.is_number(union)
+        assert isinstance(numberness, SymBool)
+        assert B.is_boolean(union) is False  # no boolean member
+
+
+class TestApplyValue:
+    def test_plain_application(self):
+        assert B.apply_value(lambda a, b: a + b, 1, 2) == 3
+
+    def test_non_procedure_fails(self):
+        with VM():
+            with pytest.raises(TypeFailure):
+                B.apply_value(42, 1)
+
+    def test_union_of_procedures_merges_results(self):
+        with VM() as vm:
+            union = merge(fresh_bool("ap"),
+                          lambda x: x + 1, lambda x: x * 2)
+            result = B.apply_value(union, 10)
+            assert isinstance(result, SymInt)
+            assert vm.stats.joins == 1  # AP2 counts as a control join
+
+    def test_union_argument_passes_through(self):
+        """Arguments are NOT unpacked (only lifted ops do that)."""
+        seen = []
+        union = merge(fresh_bool(), (1,), (2, 3))
+        B.apply_value(lambda v: seen.append(v), union)
+        assert seen == [union]
+
+    def test_union_of_procedures_with_effects(self):
+        from repro.vm import box_get, box_set, make_box
+        with VM():
+            box = make_box(0)
+            union = merge(fresh_bool("fx"),
+                          lambda: box_set(box, 1), lambda: box_set(box, 2))
+            B.apply_value(union)
+            assert isinstance(box_get(box), SymInt)
+
+
+class TestHigherOrder:
+    def test_list_map(self):
+        result = B.list_map(lambda v: v + 1, (1, 2, 3))
+        assert result == (2, 3, 4)
+
+    def test_list_map_over_union(self):
+        with VM():
+            union = list_union()
+            result = B.list_map(lambda v: 0, union)
+            assert isinstance(result, Union)
+            assert sorted(len(v) for v in result.values()) == [1, 2]
+
+    def test_list_foldl(self):
+        result = B.list_foldl(lambda el, acc: acc + el, 0, (1, 2, 3))
+        assert result == 6

@@ -1,0 +1,226 @@
+"""Tests for the VM: path conditions, guarded evaluation, state merging."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym import fresh_bool, fresh_int, ops
+from repro.sym.values import SymBool, SymInt, Union
+from repro.vm import AssertionFailure, VM, make_box, box_get, box_set
+from repro.vm.context import current
+
+
+class TestAssertions:
+    def test_true_assertion_is_free(self):
+        with VM() as vm:
+            vm.assert_(True)
+            assert vm.assertions == []
+
+    def test_concrete_false_assertion_raises(self):
+        with VM() as vm:
+            with pytest.raises(AssertionFailure):
+                vm.assert_(False)
+
+    def test_symbolic_assertion_joins_store(self):
+        with VM() as vm:
+            b = fresh_bool()
+            vm.assert_(b)
+            assert vm.assertions == [b.term]
+
+    def test_non_boolean_values_are_truthy(self):
+        with VM() as vm:
+            vm.assert_(42)      # Scheme truthiness
+            vm.assert_(())
+            assert vm.assertions == []
+
+    def test_assertion_is_guarded_by_path(self):
+        with VM() as vm:
+            b, p = fresh_bool("guard"), fresh_bool("prop")
+            vm.branch(b, lambda: vm.assert_(p), lambda: None)
+            assert len(vm.assertions) == 1
+            # The stored term must be b => p, not p.
+            stored = vm.assertions[0]
+            assert stored is T.mk_implies(b.term, p.term)
+
+    def test_false_assert_under_guard_becomes_constraint(self):
+        with VM() as vm:
+            b = fresh_bool()
+            vm.branch(b, lambda: vm.assert_(False), lambda: None)
+            # The then-path is infeasible: store says ~b.
+            assert vm.assertions == [T.mk_not(b.term)]
+
+
+class TestBranch:
+    def test_concrete_condition_runs_single_branch(self):
+        with VM() as vm:
+            log = []
+            result = vm.branch(True, lambda: log.append("t") or 1,
+                               lambda: log.append("e") or 2)
+            assert result == 1 and log == ["t"]
+            assert vm.stats.joins == 0  # concrete: no join (rule IF1)
+
+    def test_symbolic_condition_merges_results(self):
+        with VM() as vm:
+            b = fresh_bool()
+            result = vm.branch(b, lambda: 1, lambda: 2)
+            assert isinstance(result, SymInt)
+            assert vm.stats.joins == 1
+
+    def test_branch_without_else(self):
+        with VM() as vm:
+            b = fresh_bool()
+            result = vm.branch(b, lambda: 5)
+            assert isinstance(result, Union)  # int vs None
+
+    def test_path_condition_restored(self):
+        with VM() as vm:
+            b = fresh_bool()
+            inner_paths = []
+            vm.branch(b, lambda: inner_paths.append(vm.path),
+                      lambda: inner_paths.append(vm.path))
+            assert vm.path is T.TRUE
+            assert inner_paths[0] is b.term
+            assert inner_paths[1] is T.mk_not(b.term)
+
+    def test_nested_branches_conjoin_paths(self):
+        with VM() as vm:
+            b1, b2 = fresh_bool("n1"), fresh_bool("n2")
+            seen = []
+            vm.branch(b1,
+                      lambda: vm.branch(b2, lambda: seen.append(vm.path),
+                                        lambda: None),
+                      lambda: None)
+            assert seen[0] is T.mk_and(b1.term, b2.term)
+
+    def test_infeasible_branch_is_skipped(self):
+        with VM() as vm:
+            b = fresh_bool()
+            executed = []
+            vm.branch(b, lambda: vm.branch(
+                ops.not_(b), lambda: executed.append("impossible"),
+                lambda: executed.append("ok")), lambda: None)
+            assert executed == ["ok"]
+
+    def test_one_failing_branch_adds_constraint(self):
+        with VM() as vm:
+            b = fresh_bool()
+            result = vm.branch(b,
+                               lambda: (_ for _ in ()).throw(
+                                   AssertionFailure("boom")),
+                               lambda: 7)
+            assert result == 7
+            assert T.mk_not(T.mk_and(T.TRUE, b.term)) in vm.assertions
+
+    def test_both_branches_failing_raises(self):
+        with VM() as vm:
+            b = fresh_bool()
+            def boom():
+                raise AssertionFailure("boom")
+            with pytest.raises(AssertionFailure):
+                vm.branch(b, boom, boom)
+
+
+class TestEffectMerging:
+    def test_box_writes_merge_at_join(self):
+        with VM() as vm:
+            box = make_box(0)
+            b = fresh_bool()
+            vm.branch(b, lambda: box_set(box, 1), lambda: box_set(box, 2))
+            value = box_get(box)
+            assert isinstance(value, SymInt)
+
+    def test_one_sided_write_merges_with_old_value(self):
+        with VM() as vm:
+            box = make_box(10)
+            b = fresh_bool("os")
+            vm.branch(b, lambda: box_set(box, 20), lambda: None)
+            merged = box_get(box)
+            assert isinstance(merged, SymInt)
+            # Check semantics with the solver: b => 20, ~b => 10.
+            solver = SmtSolver()
+            solver.add_assertion(b.term)
+            solver.add_assertion(
+                T.mk_eq(merged.term, T.bv_const(10, merged.width)))
+            assert solver.check() is SmtResult.UNSAT
+
+    def test_writes_rolled_back_between_branches(self):
+        with VM() as vm:
+            box = make_box(0)
+            observed = []
+            b = fresh_bool()
+            vm.branch(b,
+                      lambda: box_set(box, 1),
+                      lambda: observed.append(box_get(box)))
+            assert observed == [0]  # else-branch saw the pre-state
+
+    def test_failed_branch_effects_are_discarded(self):
+        with VM() as vm:
+            box = make_box(0)
+            b = fresh_bool()
+            def failing():
+                box_set(box, 99)
+                raise AssertionFailure("after write")
+            vm.branch(b, failing, lambda: None)
+            assert box_get(box) == 0
+
+    def test_nested_writes_propagate_to_outer_merge(self):
+        with VM() as vm:
+            box = make_box(0)
+            b1, b2 = fresh_bool(), fresh_bool()
+            vm.branch(b1,
+                      lambda: vm.branch(b2, lambda: box_set(box, 1),
+                                        lambda: box_set(box, 2)),
+                      lambda: box_set(box, 3))
+            assert isinstance(box_get(box), SymInt)
+
+    def test_mutation_semantics_via_solver(self):
+        """|x| computed by branching is never negative."""
+        with VM() as vm:
+            x = fresh_int("absx")
+            box = make_box(0)
+            vm.branch(ops.lt(x, 0), lambda: box_set(box, ops.neg(x)),
+                      lambda: box_set(box, x))
+            result = box_get(box)
+            solver = SmtSolver()
+            # Exclude INT_MIN whose negation overflows.
+            solver.add_assertion(
+                T.mk_not(T.mk_eq(x.term, T.bv_const(1 << (x.width - 1),
+                                                    x.width))))
+            solver.add_assertion(T.mk_slt(result.term,
+                                          T.bv_const(0, result.width)))
+            assert solver.check() is SmtResult.UNSAT
+
+
+class TestGuarded:
+    def test_coverage_assertion_emitted(self):
+        with VM() as vm:
+            g1, g2 = fresh_bool("c1"), fresh_bool("c2")
+            vm.guarded([(g1, lambda: 1), (g2, lambda: 2)],
+                       assert_coverage=True)
+            assert T.mk_or(g1.term, g2.term) in vm.assertions
+
+    def test_all_infeasible_raises(self):
+        with VM() as vm:
+            with pytest.raises(AssertionFailure):
+                vm.guarded([(False, lambda: 1)])
+
+    def test_count_join_flag(self):
+        with VM() as vm:
+            g = fresh_bool()
+            vm.guarded([(g, lambda: 1), (ops.not_(g), lambda: 2)],
+                       count_join=False)
+            assert vm.stats.joins == 0
+
+
+class TestCurrent:
+    def test_nested_vms_restore(self):
+        outer = VM()
+        with outer:
+            assert current() is outer
+            inner = VM()
+            with inner:
+                assert current() is inner
+            assert current() is outer
+
+    def test_ambient_vm_exists(self):
+        assert current() is not None

@@ -1,0 +1,136 @@
+"""Tests for boxes and vectors under symbolic evaluation."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+from repro.sym import fresh_bool, fresh_int, merge, ops
+from repro.sym.values import SymInt
+from repro.vm import AssertionFailure, TypeFailure, VM
+from repro.vm.mutable import Vector, box_get, box_set, make_box
+
+
+class TestBoxes:
+    def test_read_write(self):
+        with VM():
+            box = make_box(5)
+            assert box_get(box) == 5
+            box_set(box, 6)
+            assert box_get(box) == 6
+
+    def test_unlogged_writes_outside_frames(self):
+        # Writing outside any guarded frame needs no rollback machinery.
+        box = make_box(1)
+        with VM():
+            box_set(box, 2)
+        assert box.value == 2
+
+
+class TestVectorConcrete:
+    def test_construction_and_ref(self):
+        vec = Vector([10, 20, 30])
+        assert len(vec) == 3
+        assert vec.ref(0) == 10
+        assert vec.ref(2) == 30
+
+    def test_filled(self):
+        vec = Vector.filled(4, value=7)
+        assert vec.snapshot() == (7, 7, 7, 7)
+
+    def test_set(self):
+        with VM():
+            vec = Vector([1, 2, 3])
+            vec.set(1, 9)
+            assert vec.snapshot() == (1, 9, 3)
+
+    def test_out_of_bounds_concrete(self):
+        with VM():
+            vec = Vector([1])
+            with pytest.raises(AssertionFailure):
+                vec.ref(1)
+            with pytest.raises(AssertionFailure):
+                vec.set(-1, 0)
+
+
+class TestVectorSymbolicIndex:
+    def test_symbolic_read_merges_cells(self):
+        with VM() as vm:
+            vec = Vector([10, 20, 30])
+            index = fresh_int("vi")
+            value = vec.ref(index)
+            assert isinstance(value, SymInt)
+            assert len(vm.assertions) == 1  # bounds check
+
+    def test_symbolic_read_semantics(self):
+        with VM() as vm:
+            vec = Vector([10, 20, 30])
+            index = fresh_int("vj")
+            value = vec.ref(index)
+            solver = SmtSolver()
+            for assertion in vm.assertions:
+                solver.add_assertion(assertion)
+            solver.add_assertion(T.mk_eq(index.term,
+                                         T.bv_const(1, index.width)))
+            solver.add_assertion(
+                T.mk_not(T.mk_eq(value.term, T.bv_const(20, value.width))))
+            assert solver.check() is SmtResult.UNSAT
+
+    def test_symbolic_write_updates_conditionally(self):
+        with VM() as vm:
+            vec = Vector([10, 20])
+            index = fresh_int("vk")
+            vec.set(index, 99)
+            # Every cell is now an ite on index.
+            assert all(isinstance(cell, SymInt) for cell in vec.cells)
+            # Exactly the indexed cell changed: check cell 0 under index=1.
+            solver = SmtSolver()
+            for assertion in vm.assertions:
+                solver.add_assertion(assertion)
+            cell0 = vec.cells[0]
+            solver.add_assertion(T.mk_eq(index.term,
+                                         T.bv_const(1, index.width)))
+            solver.add_assertion(
+                T.mk_not(T.mk_eq(cell0.term, T.bv_const(10, cell0.width))))
+            assert solver.check() is SmtResult.UNSAT
+
+    def test_index_union_is_merged(self):
+        with VM():
+            vec = Vector([10, 20, 30])
+            index = merge(fresh_bool("vu"), 0, 2)
+            value = vec.ref(index)
+            assert isinstance(value, SymInt)
+
+    def test_non_integer_index_rejected(self):
+        with VM():
+            vec = Vector([1])
+            with pytest.raises(TypeFailure):
+                vec.ref("zero")
+            with pytest.raises(TypeFailure):
+                vec.ref(True)
+            with pytest.raises(TypeFailure):
+                vec.set((), 1)
+            bad_union = merge(fresh_bool(), 0, "one")
+            with pytest.raises(TypeFailure):
+                vec.ref(bad_union)
+
+
+class TestVectorJoins:
+    def test_vector_writes_merge_at_branch_join(self):
+        with VM() as vm:
+            vec = Vector([0, 0])
+            b = fresh_bool("vb")
+            vm.branch(b, lambda: vec.set(0, 1), lambda: vec.set(0, 2))
+            assert isinstance(vec.cells[0], SymInt)
+            assert vec.cells[1] == 0
+
+    def test_vectors_merge_by_pointer(self):
+        from repro.sym.values import Union
+        with VM():
+            v1, v2 = Vector([1]), Vector([2])
+            merged = merge(fresh_bool(), v1, v2)
+            assert isinstance(merged, Union)
+
+    def test_same_vector_merges_to_itself(self):
+        with VM():
+            vec = Vector([1])
+            assert merge(fresh_bool(), vec, vec) is vec

@@ -1,0 +1,84 @@
+"""Tests for the symbolic profiler extension."""
+
+import pytest
+
+from repro.sym import fresh_bool, fresh_int, merge, ops
+from repro.vm import builtins as B
+from repro.vm.context import VM, current
+from repro.vm.profiler import SymbolicProfiler
+
+
+def branchy_workload():
+    x = fresh_int("pw")
+    total = 0
+    for bound in (0, 1, 2):
+        total = current().branch(ops.gt(x, bound),
+                                 lambda total=total: ops.add(total, 1),
+                                 lambda total=total: total)
+    return total
+
+
+def union_workload():
+    value = ()
+    for depth in (1, 2):
+        value = merge(fresh_bool(f"pu{depth}"), (0,) * depth, value)
+    return value
+
+
+class TestProfiler:
+    def test_joins_are_attributed(self):
+        with VM(), SymbolicProfiler() as profiler:
+            branchy_workload()
+        assert sum(s.joins for s in profiler.sites.values()) == 3
+        top_site, top_stats = profiler.top_sites(1)[0]
+        assert "branchy_workload" in top_site
+        assert top_stats.joins == 3
+
+    def test_unions_are_attributed(self):
+        with VM(), SymbolicProfiler() as profiler:
+            union_workload()
+        assert sum(s.unions for s in profiler.sites.values()) == 2
+        assert sum(s.union_cardinality for s in profiler.sites.values()) >= 4
+
+    def test_uninstalled_after_exit(self):
+        with VM():
+            with SymbolicProfiler() as profiler:
+                branchy_workload()
+            joins_recorded = sum(s.joins for s in profiler.sites.values())
+            branchy_workload()  # outside the profiler
+            assert sum(s.joins for s in profiler.sites.values()) == \
+                joins_recorded
+
+    def test_nested_profilers_both_record(self):
+        with VM():
+            with SymbolicProfiler() as outer:
+                with SymbolicProfiler() as inner:
+                    branchy_workload()
+            assert sum(s.joins for s in outer.sites.values()) == 3
+            assert sum(s.joins for s in inner.sites.values()) == 3
+
+    def test_report_renders(self):
+        with VM(), SymbolicProfiler() as profiler:
+            branchy_workload()
+            union_workload()
+        report = profiler.report()
+        assert "joins" in report and "unions" in report
+        assert "branchy_workload" in report
+
+    def test_profiles_a_real_query(self):
+        from repro.queries import solve
+        from repro.vm import assert_
+
+        def program():
+            xs = (fresh_int("pq"), fresh_int("pq"))
+            ps = ()
+            for x in xs:
+                ps = current().branch(ops.gt(x, 0),
+                                      lambda x=x, ps=ps: B.cons(x, ps),
+                                      lambda ps=ps: ps)
+            assert_(B.equal(B.length(ps), 2))
+
+        with SymbolicProfiler() as profiler:
+            outcome = solve(program)
+        assert outcome.status == "sat"
+        assert profiler.sites  # something was attributed

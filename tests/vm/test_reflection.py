@@ -1,0 +1,97 @@
+"""Tests for symbolic reflection (§2.3, §4.7): for_all, lift, introspection."""
+
+import re
+
+import pytest
+
+from repro.sym import fresh_bool, fresh_int, merge
+from repro.sym.values import SymBool, SymInt, Union
+from repro.vm import VM, for_all, lift, union_contents, union_size
+from repro.vm.reflection import union_guards, union_values
+
+
+class TestForAll:
+    def test_concrete_value_is_plain_call(self):
+        assert for_all(21, lambda v: v * 2) == 42
+
+    def test_union_components_evaluated_concretely(self):
+        with VM():
+            union = merge(fresh_bool("fa"), "car", "cdr")
+            lengths = for_all(union, len)  # len is unlifted Python!
+            assert isinstance(lengths, SymInt) or lengths == 3
+            # both strings have length 3, so the merge folds
+            assert lengths == 3
+
+    def test_union_with_distinct_results_merges(self):
+        with VM():
+            union = merge(fresh_bool("fb"), "a", "abc")
+            lengths = for_all(union, len)
+            assert isinstance(lengths, SymInt)
+
+    def test_regexp_matcher_example(self):
+        """The paper's §2.3 example: lifting re.search over symbolic strings."""
+        with VM():
+            union = merge(fresh_bool("fc"), "car", "cxr")
+            matches = for_all(
+                union, lambda s: re.search("^c[ad]*r$", s) is not None)
+            assert isinstance(matches, SymBool)
+
+    def test_effects_inside_for_all_merge(self):
+        from repro.vm import box_get, box_set, make_box
+        with VM():
+            box = make_box(0)
+            union = merge(fresh_bool("fd"), 1, (2,))
+            for_all(union, lambda v: box_set(box, 1 if isinstance(v, tuple)
+                                             else 2))
+            assert isinstance(box_get(box), SymInt)
+
+
+class TestLift:
+    def test_decorator(self):
+        @lift
+        def loud(s):
+            return s.upper()
+        with VM():
+            union = merge(fresh_bool("lf"), "a", "bc")
+            result = loud(union)
+            assert isinstance(result, Union)
+            assert set(result.values()) == {"A", "BC"}
+
+    def test_lift_preserves_name(self):
+        @lift
+        def some_op(s):
+            return s
+        assert some_op.__name__ == "some_op"
+
+
+class TestIntrospection:
+    def test_union_size(self):
+        union = merge(fresh_bool(), (1,), (1, 2))
+        assert union_size(union) == 2
+        assert union_size(42) == 1
+
+    def test_union_contents_of_non_union(self):
+        contents = union_contents("x")
+        assert contents == [(True, "x")]
+
+    def test_union_contents_guards_are_symbolic(self):
+        union = merge(fresh_bool("ic"), (1,), (1, 2))
+        contents = union_contents(union)
+        assert len(contents) == 2
+        assert all(isinstance(guard, SymBool) for guard, _ in contents)
+
+    def test_union_guards_and_values(self):
+        union = merge(fresh_bool(), "a", (1,))
+        assert len(union_guards(union)) == 2
+        assert set(union_values(union)) == {"a", (1,)}
+
+    def test_cardinality_guided_finitization(self):
+        """§4.7: code can bound recursion by observing union cardinality."""
+        with VM():
+            value = ()
+            depth = 0
+            while union_size(value) < 3 and depth < 10:
+                depth += 1
+                value = merge(fresh_bool(f"fin{depth}"), (0,) * depth, value)
+            assert union_size(value) == 3
+            assert depth == 2  # one new list length per step

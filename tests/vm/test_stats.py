@@ -1,0 +1,62 @@
+"""Tests for evaluation statistics (Table 4's instrumentation)."""
+
+from repro.sym import fresh_bool, fresh_int, merge
+from repro.sym.values import UNION_COUNTERS
+from repro.vm import VM
+from repro.vm.stats import EvalStats
+
+
+class TestUnionCounters:
+    def test_counting(self):
+        UNION_COUNTERS.reset()
+        merge(fresh_bool(), (1,), (1, 2))
+        assert UNION_COUNTERS.created == 1
+        assert UNION_COUNTERS.cardinality_sum == 2
+        assert UNION_COUNTERS.max_cardinality == 2
+
+    def test_reset(self):
+        merge(fresh_bool(), (1,), (1, 2))
+        UNION_COUNTERS.reset()
+        assert UNION_COUNTERS.created == 0
+
+
+class TestEvalStats:
+    def test_window_captures_only_bracketed_unions(self):
+        merge(fresh_bool("before"), (1,), (1, 2))  # outside the window
+        stats = EvalStats()
+        stats.start()
+        merge(fresh_bool("inside"), (1,), (1, 2, 3))
+        stats.stop()
+        assert stats.unions_created == 1
+        assert stats.union_cardinality_sum == 2
+        assert stats.svm_seconds > 0
+
+    def test_accumulates_across_windows(self):
+        stats = EvalStats()
+        for _ in range(2):
+            stats.start()
+            merge(fresh_bool(), (1,), (1, 2))
+            stats.stop()
+        assert stats.unions_created == 2
+
+    def test_row_shape(self):
+        stats = EvalStats()
+        row = stats.row()
+        assert set(row) == {"joins", "count", "sum", "max",
+                            "svm_sec", "solver_sec"}
+
+    def test_vm_counts_joins(self):
+        with VM() as vm:
+            vm.stats.start()
+            vm.branch(fresh_bool(), lambda: 1, lambda: 2)
+            vm.branch(True, lambda: 1, lambda: 2)  # concrete: no join
+            vm.stats.stop()
+            assert vm.stats.joins == 1
+
+    def test_max_cardinality_tracks_peak(self):
+        stats = EvalStats()
+        stats.start()
+        union = merge(fresh_bool("p1"), (1,), (1, 2))
+        merge(fresh_bool("p2"), union, (1, 2, 3))
+        stats.stop()
+        assert stats.max_union_cardinality == 3

@@ -1,0 +1,140 @@
+"""Differential testing of union lifting (rule CO1).
+
+A symbolic union denotes "one of these concrete values, selected by the
+guards". So for any lifted operation `op` and any model M:
+
+    M(op(union)) == op(M(union))
+
+i.e. applying the operation symbolically and then concretizing must equal
+concretizing first and applying the plain concrete operation. We build
+random unions by merging randomly-shaped lists under fresh guards, pick
+random guard assignments, and check the equation for the whole lifted
+list library.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queries.outcome import Model
+from repro.smt.solver import Model as SmtModel
+from repro.sym import fresh_bool, merge, ops
+from repro.sym.values import Union
+from repro.vm import builtins as B
+from repro.vm.context import VM
+from repro.vm.errors import AssertionFailure
+
+# Concrete lists of small ints, possibly empty, lengths 0..3.
+concrete_lists = st.lists(st.integers(min_value=-3, max_value=3),
+                          min_size=0, max_size=3).map(tuple)
+
+
+@st.composite
+def guarded_unions(draw):
+    """A value built by merging 2-3 lists under fresh guards, plus a
+    model assigning each guard."""
+    count = draw(st.integers(min_value=2, max_value=3))
+    lists = [draw(concrete_lists) for _ in range(count)]
+    value = lists[0]
+    guards = []
+    for other in lists[1:]:
+        guard = fresh_bool("us")
+        guards.append(guard)
+        value = merge(guard, other, value)
+    assignment = {guard.term: draw(st.booleans()) for guard in guards}
+    return value, assignment
+
+
+def concretize(value, assignment):
+    return Model(SmtModel(assignment)).evaluate(value)
+
+
+class TestUnionDenotation:
+    @given(guarded_unions())
+    @settings(max_examples=120, deadline=None)
+    def test_length(self, case):
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            symbolic_length = B.length(value)
+        assert concretize(symbolic_length, assignment) == len(selected)
+
+    @given(guarded_unions())
+    @settings(max_examples=120, deadline=None)
+    def test_cons(self, case):
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            consed = B.cons(9, value)
+        assert concretize(consed, assignment) == (9,) + selected
+
+    @given(guarded_unions())
+    @settings(max_examples=120, deadline=None)
+    def test_car_and_cdr(self, case):
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            if not selected:
+                # car is only defined on the non-empty members; the VM
+                # either excludes the path or fails if no member fits.
+                return
+            try:
+                head = B.car(value)
+                tail = B.cdr(value)
+            except AssertionFailure:
+                return  # every member empty: nothing to check
+        assert concretize(head, assignment) == selected[0]
+        assert concretize(tail, assignment) == selected[1:]
+
+    @given(guarded_unions())
+    @settings(max_examples=100, deadline=None)
+    def test_reverse_and_append(self, case):
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            reversed_value = B.reverse(value)
+            appended = B.append2(value, (7,))
+        assert concretize(reversed_value, assignment) == \
+            tuple(reversed(selected))
+        assert concretize(appended, assignment) == selected + (7,)
+
+    @given(guarded_unions())
+    @settings(max_examples=100, deadline=None)
+    def test_is_null(self, case):
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            nullness = B.is_null(value)
+        assert concretize(nullness, assignment) == (selected == ())
+
+    @given(guarded_unions())
+    @settings(max_examples=100, deadline=None)
+    def test_equal_with_selected_member(self, case):
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            equality = B.equal(value, selected)
+        assert concretize(equality, assignment) is True
+
+    @given(guarded_unions(), guarded_unions())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_of_unions_denotes_selection(self, case_a, case_b):
+        value_a, assign_a = case_a
+        value_b, assign_b = case_b
+        outer = fresh_bool("outer")
+        pick = True
+        assignment = {**assign_a, **assign_b, outer.term: pick}
+        with VM():
+            merged = merge(outer, value_a, value_b)
+        expected = concretize(value_a if pick else value_b, assignment)
+        assert concretize(merged, assignment) == expected
+
+    @given(guarded_unions())
+    @settings(max_examples=80, deadline=None)
+    def test_for_all_with_python_function(self, case):
+        from repro.vm.reflection import for_all
+        value, assignment = case
+        selected = concretize(value, assignment)
+        with VM():
+            summed = for_all(value, lambda lst: sum(lst) if lst else 0)
+        expected = sum(selected) if selected else 0
+        assert concretize(summed, assignment) == expected
