@@ -116,6 +116,7 @@ def debug(thunk: Callable[[], object],
         label_of = {selector: label for label, selector in session.relaxations}
         started = time.perf_counter()
         result = solver.check(selectors)
+        vm.stats.record_check(solver.last_check)
         if result is SmtResult.SAT:
             vm.stats.solver_seconds += time.perf_counter() - started
             return QueryOutcome("unsat", stats=vm.stats,
@@ -123,7 +124,11 @@ def debug(thunk: Callable[[], object],
         if result is SmtResult.UNKNOWN:
             vm.stats.solver_seconds += time.perf_counter() - started
             return QueryOutcome("unknown", stats=vm.stats)
+        # Deletion minimization runs many checks on the same persistent
+        # solver; record their combined effort as a cumulative delta.
+        before_minimize = solver.cumulative.copy()
         core = solver.minimize_core()
+        vm.stats.record_check(solver.cumulative - before_minimize)
         vm.stats.solver_seconds += time.perf_counter() - started
         labels = [label_of[selector] for selector in core
                   if selector in label_of]

@@ -45,6 +45,7 @@ def _check(solver: SmtSolver, vm: VM,
     started = time.perf_counter()
     result = solver.check(assumptions)
     vm.stats.solver_seconds += time.perf_counter() - started
+    vm.stats.record_check(solver.last_check)
     return result
 
 
@@ -138,16 +139,33 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
     layer re-simplifies bottom-up, so each example formula is typically
     much smaller than the symbolic goal and no program re-execution is
     needed.
+
+    Both sides of the loop solve *incrementally* on persistent solvers:
+
+    - The guess solver accumulates one assertion per counterexample; each
+      new example is bit-blasted once and the SAT solver's learned clauses
+      about the hole variables carry over to every later guess.
+    - The check solver tests each candidate inside a ``push``/``pop``
+      scope, so candidate constraints retract without discarding the
+      shared Tseitin gates or clauses learned while refuting earlier
+      candidates. Terms shared between iterations (the interned term DAG
+      guarantees structural sharing) hit the encode cache instead of
+      being re-blasted.
     """
     inputs = set(input_terms)
     hole_terms = [var for var in T.term_vars(goal) if var not in inputs]
     examples: List[dict] = [{var: _default_value(var) for var in inputs}]
+    guess_solver = SmtSolver(max_conflicts=max_conflicts)
+    check_solver = SmtSolver(max_conflicts=max_conflicts)
+    examples_asserted = 0
     iterations = 0
     while iterations < max_iterations:
         iterations += 1
         # Guess: find hole values consistent with all examples so far.
-        guess_solver = SmtSolver(max_conflicts=max_conflicts)
-        for example in examples:
+        # Only the examples discovered since the last guess need encoding.
+        while examples_asserted < len(examples):
+            example = examples[examples_asserted]
+            examples_asserted += 1
             bound = T.substitute(goal, {
                 var: _const_for(var, value)
                 for var, value in example.items()})
@@ -161,12 +179,18 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
                 message=f"no candidate after {len(examples)} example(s)")
         candidate = guess_solver.model(hole_terms)
 
-        # Check: does the candidate work for every input?
+        # Check: does the candidate work for every input? The candidate
+        # binding lives in a scope so the next iteration can retract it.
         checked = T.substitute(goal, {
             var: _const_for(var, candidate[var]) for var in hole_terms})
-        check_solver = SmtSolver(max_conflicts=max_conflicts)
-        check_solver.add_assertion(T.mk_not(checked))
-        check_result = _check(check_solver, vm)
+        check_solver.push()
+        try:
+            check_solver.add_assertion(T.mk_not(checked))
+            check_result = _check(check_solver, vm)
+            if check_result is SmtResult.SAT:
+                counterexample = check_solver.model(list(inputs))
+        finally:
+            check_solver.pop()
         if check_result is SmtResult.UNKNOWN:
             return QueryOutcome("unknown", stats=vm.stats)
         if check_result is not SmtResult.SAT:
@@ -174,7 +198,6 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
                                    stats=vm.stats)
             outcome.message = f"cegis converged in {iterations} iteration(s)"
             return outcome
-        counterexample = check_solver.model(list(inputs))
         examples.append({var: counterexample[var] for var in inputs})
     return QueryOutcome("unknown", stats=vm.stats,
                         message=f"cegis hit the {max_iterations}-iteration cap")

@@ -14,7 +14,7 @@ unsigned operators on magnitudes), matching the constant folders in
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt import terms as T
 from repro.solver.sat import SatSolver
@@ -32,6 +32,13 @@ class BitBlaster:
         self._gate_cache: Dict[Tuple, int] = {}
         self._bool_vars: Dict[T.Term, int] = {}
         self._bv_vars: Dict[T.Term, List[int]] = {}
+        # Encode-cache statistics: a hit is a term whose encoding was
+        # reused from the memo table, a miss is a term translated to fresh
+        # gates. Terms are interned (repro.smt.terms), so across the
+        # lifetime of this blaster every distinct term is a miss exactly
+        # once — incremental queries re-encode nothing.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Literal-level gates (with constant short-circuiting and caching)
@@ -276,7 +283,9 @@ class BitBlaster:
             raise TypeError(f"expected a boolean term, got {term!r}")
         cached = self._bool_memo.get(term)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         lit = self._translate_bool(term)
         self._bool_memo[term] = lit
         return lit
@@ -287,7 +296,9 @@ class BitBlaster:
             raise TypeError(f"expected a bitvector term, got {term!r}")
         cached = self._bv_memo.get(term)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         bits = self._translate_bv(term)
         self._bv_memo[term] = bits
         return bits
@@ -425,25 +436,40 @@ class BitBlaster:
     # Assertions and models
     # ------------------------------------------------------------------
 
-    def assert_term(self, term: T.Term) -> None:
+    def assert_term(self, term: T.Term, guard: Optional[int] = None) -> None:
         """Assert a boolean term at the top level.
 
         Top-level conjunctions split into separate assertions and
         disjunctions become plain clauses, so the solver sees the formula's
         clausal skeleton directly instead of a tower of equivalence gates.
+
+        When `guard` is given, it is a SAT literal appended to every
+        emitted top-level clause, making the assertion conditional: the
+        term is only enforced while the guard is falsified (the
+        activation-literal scheme behind :meth:`SmtSolver.push`). Tseitin
+        gate definitions stay unguarded — they are globally valid
+        definitions of auxiliary variables, so they can be shared by later
+        scopes.
         """
         if term.op == T.OP_AND:
             for arg in term.args:
-                self.assert_term(arg)
+                self.assert_term(arg, guard)
             return
+        extra = [] if guard is None else [guard]
         if term.op == T.OP_OR:
-            self.sat.add_clause([self.lit_of(arg) for arg in term.args])
+            self.sat.add_clause(
+                [self.lit_of(arg) for arg in term.args] + extra)
             return
         if term.op == T.OP_NOT and term.args[0].op == T.OP_OR:
             for arg in term.args[0].args:
-                self.assert_term(T.mk_not(arg))
+                self.assert_term(T.mk_not(arg), guard)
             return
-        self.sat.add_clause([self.lit_of(term)])
+        self.sat.add_clause([self.lit_of(term)] + extra)
+
+    def variables(self) -> List[T.Term]:
+        """All variable terms that have reached the encoder, in first-seen
+        order (booleans before bitvectors)."""
+        return list(self._bool_vars) + list(self._bv_vars)
 
     def model_value(self, var_term: T.Term):
         """Value of a variable term in the last satisfying assignment."""

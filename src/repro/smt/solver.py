@@ -1,17 +1,36 @@
-"""SMT solver facade: check-sat, models, and minimized unsat cores.
+"""SMT solver facade: check-sat, models, scopes, and minimized unsat cores.
 
 This is the component the SVM's queries talk to in place of Z3. A
-:class:`SmtSolver` owns a fresh SAT instance; assertions are boolean terms
-and `check` may additionally be given *assumption* terms. When the result is
-UNSAT under assumptions, :meth:`unsat_core` reports which assumptions were
-used, and :meth:`minimize_core` shrinks that set to a minimal one by
-deletion — this implements the paper's minimal-unsatisfiable-core `debug`
-query (§2.2).
+:class:`SmtSolver` owns a single *persistent* SAT instance; assertions are
+boolean terms and `check` may additionally be given *assumption* terms. The
+solver is **incremental**:
+
+- :meth:`push`/:meth:`pop` open and close assertion scopes. Scoped
+  assertions are guarded by per-scope *activation literals* — fresh SAT
+  variables assumed true while the scope is open and permanently forced
+  false on `pop` — so retracting a scope never discards the SAT solver's
+  learned clauses, variable activities, or watch lists.
+- Bit-blasting is memoized in the underlying :class:`BitBlaster`: because
+  terms are interned (:mod:`repro.smt.terms`), a term encoded by one check
+  is a dictionary hit for every later check, even across popped scopes.
+- Every `check` records a :class:`CheckStats` delta (conflicts, decisions,
+  propagations, learned clauses, encode-cache hits/misses) in
+  :attr:`SmtSolver.last_check` and accumulates it in
+  :attr:`SmtSolver.cumulative`.
+
+When the result is UNSAT under assumptions, :meth:`unsat_core` reports
+which assumptions were used, and :meth:`minimize_core` shrinks that set to
+a minimal one by deletion — this implements the paper's
+minimal-unsatisfiable-core `debug` query (§2.2). Deletion candidates are
+ordered by how rarely they appeared in previously reported cores
+(Cache-a-lot-style core reuse), and the pre-call result/model are restored
+afterwards so a model obtained before minimization stays retrievable.
 """
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.smt import terms as T
@@ -23,6 +42,49 @@ class SmtResult(enum.Enum):
     SAT = "sat"
     UNSAT = "unsat"
     UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckStats:
+    """Solver-effort counters, either for one `check` or accumulated.
+
+    ``encode_*`` counts cover the encoding work done since the previous
+    check (assertions are bit-blasted as they are added, so the cost of
+    encoding a formula is attributed to the first check that uses it).
+    """
+
+    checks: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    learned: int = 0
+    encode_hits: int = 0
+    encode_misses: int = 0
+
+    def copy(self) -> "CheckStats":
+        return CheckStats(self.checks, self.conflicts, self.decisions,
+                          self.propagations, self.learned,
+                          self.encode_hits, self.encode_misses)
+
+    def __sub__(self, other: "CheckStats") -> "CheckStats":
+        return CheckStats(
+            self.checks - other.checks,
+            self.conflicts - other.conflicts,
+            self.decisions - other.decisions,
+            self.propagations - other.propagations,
+            self.learned - other.learned,
+            self.encode_hits - other.encode_hits,
+            self.encode_misses - other.encode_misses)
+
+    def __iadd__(self, other: "CheckStats") -> "CheckStats":
+        self.checks += other.checks
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.learned += other.learned
+        self.encode_hits += other.encode_hits
+        self.encode_misses += other.encode_misses
+        return self
 
 
 class Model:
@@ -60,30 +122,101 @@ class Model:
         return f"Model({entries})"
 
 
+class _Scope:
+    """One push level: its activation literal and the terms it asserted."""
+
+    __slots__ = ("act", "assertions", "has_false")
+
+    def __init__(self, act: int):
+        self.act = act                       # external SAT literal, > 0
+        self.assertions: List[T.Term] = []
+        self.has_false = False               # scope asserted constant FALSE
+
+
 class SmtSolver:
-    """One-shot satisfiability checks for boolean/bitvector formulas."""
+    """Incremental satisfiability checks for boolean/bitvector formulas."""
 
     def __init__(self, max_conflicts: Optional[int] = None):
         self.sat = SatSolver()
         self.sat.max_conflicts = max_conflicts
         self.blaster = BitBlaster(self.sat)
-        self._assertions: List[T.Term] = []
+        self._assertions: List[T.Term] = []   # base (unscoped) assertions
+        self._base_false = False              # base asserted constant FALSE
+        self._scopes: List[_Scope] = []
         self._assumption_lits: Dict[T.Term, int] = {}
         self._last_core: List[T.Term] = []
         self._last_result: Optional[SmtResult] = None
+        # Statistics. The mark advances at the end of every check, so
+        # encoding done while asserting between checks is attributed to
+        # the next check that uses it.
+        self.last_check: CheckStats = CheckStats()
+        self.cumulative: CheckStats = CheckStats()
+        self._mark: CheckStats = self._stats_mark()
+        self._core_counts: Dict[T.Term, int] = {}
 
+    # ------------------------------------------------------------------
+    # Assertions and scopes
     # ------------------------------------------------------------------
 
     def add_assertion(self, term: T.Term) -> None:
-        """Permanently assert a boolean term."""
+        """Assert a boolean term in the current scope.
+
+        Base-level assertions are permanent; assertions made after a
+        :meth:`push` are retracted by the matching :meth:`pop`.
+        """
         if term.sort is not T.BOOL:
             raise TypeError(f"assertions must be boolean: {term!r}")
-        self._assertions.append(term)
-        self.blaster.assert_term(term)
+        if self._scopes:
+            scope = self._scopes[-1]
+            scope.assertions.append(term)
+            scope.has_false = scope.has_false or term is T.FALSE
+            self.blaster.assert_term(term, guard=-scope.act)
+        else:
+            self._assertions.append(term)
+            self._base_false = self._base_false or term is T.FALSE
+            self.blaster.assert_term(term)
 
     def add_assertions(self, terms: Iterable[T.Term]) -> None:
         for term in terms:
             self.add_assertion(term)
+
+    def push(self) -> None:
+        """Open a new assertion scope.
+
+        Implemented with an activation literal: a fresh SAT variable guards
+        every clause the scope asserts and is passed as an assumption to
+        each `check` while the scope is open. The persistent SAT instance
+        keeps its learned clauses, activities, and watches across scopes.
+        """
+        self._scopes.append(_Scope(self.sat.new_var()))
+
+    def pop(self) -> None:
+        """Retract the innermost scope's assertions.
+
+        The scope's activation literal is permanently forced false, which
+        satisfies (and thereby disables) every clause it guarded — nothing
+        is deleted, so clauses learned while the scope was open remain
+        valid and continue to prune later searches.
+        """
+        if not self._scopes:
+            raise RuntimeError("pop() without a matching push()")
+        scope = self._scopes.pop()
+        self.sat.add_clause([-scope.act])
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scopes)
+
+    def assertions(self) -> List[T.Term]:
+        """All currently active assertions, outermost first."""
+        active = list(self._assertions)
+        for scope in self._scopes:
+            active.extend(scope.assertions)
+        return active
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
 
     def _assumption_lit(self, term: T.Term) -> int:
         lit = self._assumption_lits.get(term)
@@ -92,39 +225,69 @@ class SmtSolver:
             self._assumption_lits[term] = lit
         return lit
 
+    def _stats_mark(self) -> CheckStats:
+        sat, blaster = self.sat, self.blaster
+        return CheckStats(0, sat.num_conflicts, sat.num_decisions,
+                          sat.num_propagations, sat.num_learned,
+                          blaster.cache_hits, blaster.cache_misses)
+
+    def _record_check(self) -> None:
+        now = self._stats_mark()
+        delta = now - self._mark
+        delta.checks = 1
+        self._mark = now
+        self.last_check = delta
+        self.cumulative += delta
+
+    def _finish(self, result: SmtResult,
+                core: Sequence[T.Term] = ()) -> SmtResult:
+        self._last_result = result
+        self._last_core = list(core)
+        for term in self._last_core:
+            self._core_counts[term] = self._core_counts.get(term, 0) + 1
+        return result
+
     def check(self, assumptions: Sequence[T.Term] = ()) -> SmtResult:
-        """Decide satisfiability of the assertions plus assumptions."""
+        """Decide satisfiability of the active assertions plus assumptions.
+
+        On UNSAT, :meth:`unsat_core` names the *assumptions* involved in
+        the conflict. Assertions (scoped or not) never appear in the core;
+        in particular, when the assertions alone are unsatisfiable the core
+        is empty — no subset of the assumptions is to blame.
+        """
         self._last_core = []
-        # Fast path: a constant-false assertion or assumption.
-        if any(term is T.FALSE for term in self._assertions):
-            self._last_result = SmtResult.UNSAT
-            self._last_core = [t for t in assumptions]
-            return SmtResult.UNSAT
+        # Fast path: a constant-false assertion makes the problem UNSAT
+        # regardless of the assumptions, so the core of assumptions is [].
+        if self._base_false or any(s.has_false for s in self._scopes):
+            self._record_check()
+            return self._finish(SmtResult.UNSAT)
         lits = []
         lit_to_term: Dict[int, T.Term] = {}
         for term in assumptions:
             if term is T.TRUE:
                 continue
             if term is T.FALSE:
-                self._last_core = [term]
-                self._last_result = SmtResult.UNSAT
-                return SmtResult.UNSAT
+                self._record_check()
+                return self._finish(SmtResult.UNSAT, [term])
             lit = self._assumption_lit(term)
             lits.append(lit)
             lit_to_term[lit] = term
-        result = self.sat.solve(lits)
+        # Activation literals of open scopes are standing assumptions.
+        act_lits = [scope.act for scope in self._scopes]
+        result = self.sat.solve(act_lits + lits)
+        self._record_check()
         if result is SatResult.SAT:
-            self._last_result = SmtResult.SAT
-            return SmtResult.SAT
+            return self._finish(SmtResult.SAT)
         if result is SatResult.UNKNOWN:
-            self._last_result = SmtResult.UNKNOWN
-            return SmtResult.UNKNOWN
+            return self._finish(SmtResult.UNKNOWN)
         core_lits = self.sat.unsat_core()
-        self._last_core = [lit_to_term[lit] for lit in core_lits
-                           if lit in lit_to_term]
-        self._last_result = SmtResult.UNSAT
-        return SmtResult.UNSAT
+        # Activation literals are implementation detail, not assumptions:
+        # lit_to_term filters them out of the reported core.
+        core = [lit_to_term[lit] for lit in core_lits if lit in lit_to_term]
+        return self._finish(SmtResult.UNSAT, core)
 
+    # ------------------------------------------------------------------
+    # Results
     # ------------------------------------------------------------------
 
     def model(self, variables: Iterable[T.Term] = ()) -> Model:
@@ -138,7 +301,7 @@ class SmtSolver:
         bindings: Dict[T.Term, object] = {}
         targets = list(variables)
         if not targets:
-            targets = list(self.blaster._bool_vars) + list(self.blaster._bv_vars)
+            targets = self.blaster.variables()
         for var in targets:
             bindings[var] = self.blaster.model_value(var)
         return Model(bindings)
@@ -152,8 +315,20 @@ class SmtSolver:
 
         The result is *minimal*: dropping any single element makes the
         remaining assumptions satisfiable together with the assertions.
+        Candidates that appeared rarely in previously reported cores are
+        tried for deletion first — across the repeated `check` calls of an
+        iterative query, the refutation usually keeps hinging on the same
+        few assumptions, so the rarely-blamed ones are the likely-redundant
+        ones (the core-reuse heuristic of Cache-a-lot).
+
+        The solver's result/model state is restored afterwards: a model
+        obtained from a SAT check before minimization is still retrievable.
         """
         current = list(self._last_core if core is None else core)
+        saved_result = self._last_result
+        saved_core = list(self._last_core)
+        saved_model = self.sat.model_snapshot()
+        current.sort(key=lambda t: self._core_counts.get(t, 0))
         i = 0
         while i < len(current):
             trial = current[:i] + current[i + 1:]
@@ -163,6 +338,7 @@ class SmtSolver:
                 current = [t for t in trial if t in set(refined)] or trial
             else:
                 i += 1
-        # Leave solver state consistent with the minimized core.
-        self.check(current)
+        self._last_result = saved_result
+        self._last_core = saved_core
+        self.sat.restore_model(saved_model)
         return current

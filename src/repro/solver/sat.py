@@ -104,6 +104,7 @@ class SatSolver:
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
+        self.num_learned = 0
         self.max_conflicts: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -569,6 +570,7 @@ class SatSolver:
                     self._ok = False
                     return SatResult.UNSAT
                 learnt, bt_level = self._analyze(confl)
+                self.num_learned += 1
                 # Never backtrack past still-valid assumption decisions:
                 # re-deciding them is handled below, so plain backjump works.
                 self._cancel_until(bt_level)
@@ -638,6 +640,19 @@ class SatSolver:
             var + 1: (value == 1)
             for var, value in enumerate(self._model or [])
         }
+
+    def model_snapshot(self) -> Optional[List[int]]:
+        """An opaque handle to the current satisfying assignment (or None).
+
+        ``solve`` replaces — never mutates — the stored model, so the handle
+        stays valid across later calls and can be given back to
+        :meth:`restore_model` to make earlier model values retrievable again.
+        """
+        return self._model
+
+    def restore_model(self, snapshot: Optional[List[int]]) -> None:
+        """Reinstate a satisfying assignment saved by :meth:`model_snapshot`."""
+        self._model = snapshot
 
     def unsat_core(self) -> List[int]:
         """Assumption literals involved in the last final conflict.

@@ -6,6 +6,13 @@ cardinalities, the maximum cardinality, and evaluation/solving times. This
 module holds those counters; union counts are sourced from the counter
 embedded in :mod:`repro.sym.values` so that unions created outside an active
 VM are also visible.
+
+Queries additionally thread per-check *solver* statistics through here (see
+:meth:`EvalStats.record_check`): SAT conflicts/decisions/propagations,
+clauses learned, and bit-blasting encode-cache hits/misses. These are the
+measurements that make incremental-solving wins visible — an iterative
+query that reuses its solver shows encode-cache hits instead of repeated
+misses, and falling per-check conflict counts as learned clauses accumulate.
 """
 
 from __future__ import annotations
@@ -26,6 +33,15 @@ class EvalStats:
     max_union_cardinality: int = 0
     svm_seconds: float = 0.0
     solver_seconds: float = 0.0
+    # Solver-effort counters, accumulated from CheckStats deltas
+    # (repro.smt.solver) by record_check.
+    solver_checks: int = 0
+    solver_conflicts: int = 0
+    solver_decisions: int = 0
+    solver_propagations: int = 0
+    solver_learned: int = 0
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
     _union_base: tuple = field(default=(0, 0), repr=False)
     _start: float = field(default=0.0, repr=False)
 
@@ -44,6 +60,21 @@ class EvalStats:
         self.max_union_cardinality = max(self.max_union_cardinality,
                                          UNION_COUNTERS.max_cardinality)
 
+    def record_check(self, check) -> None:
+        """Accumulate a CheckStats-shaped delta from a solver check.
+
+        `check` is any object with the counter attributes of
+        :class:`repro.smt.solver.CheckStats` (duck-typed to keep this
+        module below the SMT layer in the import graph).
+        """
+        self.solver_checks += check.checks
+        self.solver_conflicts += check.conflicts
+        self.solver_decisions += check.decisions
+        self.solver_propagations += check.propagations
+        self.solver_learned += check.learned
+        self.encode_cache_hits += check.encode_hits
+        self.encode_cache_misses += check.encode_misses
+
     def row(self) -> dict:
         """A Table 4-shaped row."""
         return {
@@ -53,4 +84,16 @@ class EvalStats:
             "max": self.max_union_cardinality,
             "svm_sec": self.svm_seconds,
             "solver_sec": self.solver_seconds,
+        }
+
+    def solver_row(self) -> dict:
+        """Per-query solver-effort summary (incremental-solving telemetry)."""
+        return {
+            "checks": self.solver_checks,
+            "conflicts": self.solver_conflicts,
+            "decisions": self.solver_decisions,
+            "propagations": self.solver_propagations,
+            "learned": self.solver_learned,
+            "encode_hits": self.encode_cache_hits,
+            "encode_misses": self.encode_cache_misses,
         }

@@ -1,0 +1,206 @@
+"""Tests for incremental solving: push/pop scopes, encode-cache reuse,
+per-check statistics, and unsat-core edge cases."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.solver import SmtResult, SmtSolver
+
+
+def bv(value, width=4):
+    return T.bv_const(value, width)
+
+
+class TestPushPop:
+    def test_pop_retracts_assertions(self):
+        x = T.bv_var("inc_x", 4)
+        solver = SmtSolver()
+        solver.add_assertion(T.mk_ult(bv(5), x))
+        solver.push()
+        solver.add_assertion(T.mk_ult(x, bv(3)))
+        assert solver.check() is SmtResult.UNSAT
+        solver.pop()
+        assert solver.check() is SmtResult.SAT
+        assert solver.model([x])[x] > 5
+
+    def test_nested_scopes_retract_in_lifo_order(self):
+        x = T.bv_var("inc_n", 4)
+        solver = SmtSolver()
+        solver.push()
+        solver.add_assertion(T.mk_ult(x, bv(8)))       # x < 8
+        solver.push()
+        solver.add_assertion(T.mk_ult(bv(6), x))       # x > 6
+        assert solver.check() is SmtResult.SAT
+        assert solver.model([x])[x] == 7
+        solver.pop()                                    # drop x > 6
+        solver.add_assertion(T.mk_ult(x, bv(2)))       # x < 2, outer scope
+        assert solver.check() is SmtResult.SAT
+        assert solver.model([x])[x] < 2
+        solver.pop()
+        assert solver.num_scopes == 0
+        assert solver.check() is SmtResult.SAT
+
+    def test_pop_without_push_raises(self):
+        solver = SmtSolver()
+        with pytest.raises(RuntimeError):
+            solver.pop()
+
+    def test_assertions_view_tracks_scopes(self):
+        p = T.bool_var("inc_p")
+        q = T.bool_var("inc_q")
+        solver = SmtSolver()
+        solver.add_assertion(p)
+        solver.push()
+        solver.add_assertion(q)
+        assert solver.assertions() == [p, q]
+        solver.pop()
+        assert solver.assertions() == [p]
+
+    def test_scoped_false_assertion_recovers_after_pop(self):
+        p = T.bool_var("inc_fp")
+        solver = SmtSolver()
+        solver.push()
+        solver.add_assertion(T.FALSE)
+        assert solver.check([p]) is SmtResult.UNSAT
+        # The assertions alone are unsat: no assumption is to blame.
+        assert solver.unsat_core() == []
+        solver.pop()
+        assert solver.check([p]) is SmtResult.SAT
+
+    def test_assumptions_and_cores_inside_scope(self):
+        x = T.bv_var("inc_c", 4)
+        low = T.mk_ult(bv(5), x)
+        high = T.mk_ult(x, bv(3))
+        solver = SmtSolver()
+        solver.push()
+        solver.add_assertion(low)
+        assert solver.check([high]) is SmtResult.UNSAT
+        # The scope's activation literal must not leak into the core.
+        assert solver.unsat_core() == [high]
+        solver.pop()
+        assert solver.check([high]) is SmtResult.SAT
+
+    def test_learned_clauses_persist_across_pop(self):
+        """Conflict clauses learned inside a scope survive its retraction."""
+        solver = SmtSolver()
+        x = T.bv_var("inc_l", 8)
+        y = T.bv_var("inc_m", 8)
+        solver.add_assertion(T.mk_eq(T.mk_mul(x, y), T.bv_const(143, 8)))
+        solver.push()
+        solver.add_assertion(T.mk_ult(bv(1, 8), x))
+        assert solver.check() is SmtResult.SAT
+        learned_before_pop = solver.sat.num_learned
+        solver.pop()
+        assert solver.sat.num_learned == learned_before_pop
+        assert solver.check() is SmtResult.SAT
+
+
+class TestEncodeCache:
+    def test_repeated_scoped_query_reencodes_nothing(self):
+        """The second scoped use of a formula is all cache hits."""
+        x = T.bv_var("inc_e", 8)
+        y = T.bv_var("inc_f", 8)
+        equation = T.mk_eq(T.mk_mul(x, y), T.bv_const(77, 8))
+        solver = SmtSolver()
+
+        solver.push()
+        solver.add_assertion(equation)
+        assert solver.check() is SmtResult.SAT
+        misses_after_first = solver.blaster.cache_misses
+        solver.pop()
+
+        solver.push()
+        solver.add_assertion(equation)
+        assert solver.check() is SmtResult.SAT
+        solver.pop()
+        assert solver.blaster.cache_misses == misses_after_first
+        assert solver.blaster.cache_hits > 0
+
+    def test_check_stats_report_cache_counters(self):
+        x = T.bv_var("inc_g", 8)
+        solver = SmtSolver()
+        solver.add_assertion(T.mk_ult(bv(0, 8), x))
+        assert solver.check() is SmtResult.SAT
+        assert solver.last_check.checks == 1
+        assert solver.last_check.encode_misses > 0
+        # Re-checking does no new encoding work.
+        assert solver.check() is SmtResult.SAT
+        assert solver.last_check.encode_misses == 0
+        assert solver.cumulative.checks == 2
+
+    def test_variables_accessor(self):
+        p = T.bool_var("inc_vp")
+        x = T.bv_var("inc_vx", 4)
+        solver = SmtSolver()
+        solver.add_assertion(p)
+        solver.add_assertion(T.mk_ult(bv(0), x))
+        assert set(solver.blaster.variables()) == {p, x}
+        assert solver.check() is SmtResult.SAT
+        model = solver.model()  # no explicit list: uses variables()
+        assert model[p] is True
+        assert model[x] > 0
+
+
+class TestCoreEdgeCases:
+    def test_false_assertion_yields_empty_core(self):
+        """Regression: a constant-false assertion must not blame assumptions."""
+        p = T.bool_var("inc_ra")
+        solver = SmtSolver()
+        solver.add_assertion(T.FALSE)
+        assert solver.check([p, T.TRUE]) is SmtResult.UNSAT
+        assert solver.unsat_core() == []
+
+    def test_true_assumptions_never_appear_in_core(self):
+        p = T.bool_var("inc_rb")
+        solver = SmtSolver()
+        solver.add_assertion(T.mk_not(p))
+        assert solver.check([T.TRUE, p, T.TRUE]) is SmtResult.UNSAT
+        assert solver.unsat_core() == [p]
+
+    def test_false_assumption_is_its_own_core(self):
+        solver = SmtSolver()
+        assert solver.check([T.FALSE]) is SmtResult.UNSAT
+        assert solver.unsat_core() == [T.FALSE]
+        assert solver.minimize_core() == [T.FALSE]
+
+    def test_minimize_empty_core_is_empty(self):
+        p = T.bool_var("inc_rc")
+        solver = SmtSolver()
+        solver.add_assertion(T.FALSE)
+        assert solver.check([p]) is SmtResult.UNSAT
+        assert solver.minimize_core() == []
+
+
+class TestMinimizeCore:
+    def _interval_solver(self):
+        x = T.bv_var("inc_mx", 4)
+        low = T.mk_ult(bv(5), x)     # x > 5
+        high = T.mk_ult(x, bv(3))    # x < 3
+        odd = T.mk_eq(T.mk_bvand(x, bv(1)), bv(1))
+        return SmtSolver(), x, low, high, odd
+
+    def test_minimize_is_idempotent(self):
+        solver, _, low, high, odd = self._interval_solver()
+        assert solver.check([low, high, odd]) is SmtResult.UNSAT
+        once = solver.minimize_core()
+        twice = solver.minimize_core(once)
+        assert set(once) == set(twice) == {low, high}
+
+    def test_minimize_restores_result_and_model(self):
+        solver, x, low, high, odd = self._interval_solver()
+        assert solver.check([low, high, odd]) is SmtResult.UNSAT
+        stale_core = solver.unsat_core()
+        # A later SAT check: its model must survive minimization.
+        assert solver.check([low, odd]) is SmtResult.SAT
+        value_before = solver.model([x])[x]
+        solver.minimize_core(stale_core)
+        assert solver.model([x])[x] == value_before
+
+    def test_minimize_restores_unsat_state(self):
+        solver, _, low, high, odd = self._interval_solver()
+        assert solver.check([low, high, odd]) is SmtResult.UNSAT
+        core_before = set(solver.unsat_core())
+        solver.minimize_core()
+        assert set(solver.unsat_core()) == core_before
+        with pytest.raises(RuntimeError):
+            solver.model()
