@@ -10,14 +10,65 @@ backend, and ours is home-grown, so its scaling behaviour is worth pinning:
 - incremental solving: scoped (push/pop) query sequences against a shared
   circuit vs. fresh one-shot solvers, and a CEGIS synthesis loop — both
   print encode-cache and per-check solver statistics, the counters that
-  prove iterative queries re-encode nothing they have already seen.
+  prove iterative queries re-encode nothing they have already seen;
+- the same incremental sweep under a wall-clock :class:`Budget`
+  (``--budget-ms``), the resource-governance smoke row.
+
+Besides the human-readable prints, every row lands in
+``BENCH_solver.json`` (schema documented in EXPERIMENTS.md; location
+overridable via ``REPRO_BENCH_JSON``) so CI can archive machine-readable
+numbers.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.smt import terms as T
 from repro.smt.solver import SmtResult, SmtSolver
+from repro.solver.budget import Budget
 from repro.solver.sat import SatResult, SatSolver
+
+_ROWS = []
+
+
+def _record_row(name, seconds, **fields):
+    row = {"name": name, "seconds": seconds}
+    row.update(fields)
+    _ROWS.append(row)
+    return row
+
+
+def _solver_fields(solver: SmtSolver) -> dict:
+    return {
+        "conflicts": solver.cumulative.conflicts,
+        "decisions": solver.cumulative.decisions,
+        "propagations": solver.cumulative.propagations,
+        "learned": solver.cumulative.learned,
+        "encode_hits": solver.blaster.cache_hits,
+        "encode_misses": solver.blaster.cache_misses,
+        "budget_trips": solver.cumulative.tripped,
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_json_writer():
+    """Write all recorded rows to BENCH_solver.json after the module runs."""
+    _ROWS.clear()
+    yield
+    target = os.environ.get("REPRO_BENCH_JSON")
+    path = Path(target) if target else \
+        Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+    payload = {
+        "schema": "bench_solver/v1",
+        "generated_unix": time.time(),
+        "rows": _ROWS,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {len(_ROWS)} row(s) to {path}")
 
 
 def test_propagation_chain(benchmark):
@@ -28,7 +79,10 @@ def test_propagation_chain(benchmark):
         for a, b in zip(variables, variables[1:]):
             solver.add_clause([-a, b])
         solver.add_clause([variables[0]])
+        started = time.perf_counter()
         assert solver.solve() is SatResult.SAT
+        _record_row("propagation_chain", time.perf_counter() - started,
+                    propagations=solver.num_propagations)
         return solver.num_propagations
 
     propagations = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -50,7 +104,13 @@ def test_pigeonhole(benchmark, holes):
             for p1 in range(pigeons):
                 for p2 in range(p1 + 1, pigeons):
                     solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
-        return solver.solve()
+        started = time.perf_counter()
+        result = solver.solve()
+        _record_row(f"pigeonhole_{pigeons}_{holes}",
+                    time.perf_counter() - started,
+                    conflicts=solver.num_conflicts,
+                    learned=solver.num_learned)
+        return result
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result is SatResult.UNSAT
@@ -59,6 +119,7 @@ def test_pigeonhole(benchmark, holes):
 def test_multiplier_inversion(benchmark):
     """Factor 143 = 11 × 13 with an 8-bit multiplier circuit."""
     def run():
+        started = time.perf_counter()
         x = T.bv_var("factor_x", 8)
         y = T.bv_var("factor_y", 8)
         solver = SmtSolver()
@@ -70,6 +131,8 @@ def test_multiplier_inversion(benchmark):
         solver.add_assertion(T.mk_ult(y, T.bv_const(16, 8)))
         assert solver.check() is SmtResult.SAT
         model = solver.model([x, y])
+        _record_row("multiplier_inversion", time.perf_counter() - started,
+                    **_solver_fields(solver))
         return model[x] * model[y]
 
     product = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -102,6 +165,7 @@ def test_incremental_factoring(benchmark):
     behaviour) re-encodes the multiplier 38×.
     """
     def run():
+        started = time.perf_counter()
         x = T.bv_var("inc_bench_x", WIDTH)
         y = T.bv_var("inc_bench_y", WIDTH)
         solver = SmtSolver()
@@ -120,6 +184,9 @@ def test_incremental_factoring(benchmark):
               f"encode_misses={solver.blaster.cache_misses} "
               f"conflicts={solver.cumulative.conflicts} "
               f"learned={solver.cumulative.learned}")
+        _record_row("incremental_factoring", time.perf_counter() - started,
+                    queries=len(FACTOR_TARGETS), sat=sats,
+                    **_solver_fields(solver))
         return sats, solver.blaster.cache_hits
 
     sats, hits = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -131,9 +198,12 @@ def test_oneshot_factoring_baseline(benchmark):
     """The same 38 queries with a fresh solver each — the pre-incremental
     cost model, kept as the comparison row for the benchmark table."""
     def run():
+        started = time.perf_counter()
         x = T.bv_var("one_bench_x", WIDTH)
         y = T.bv_var("one_bench_y", WIDTH)
         sats = 0
+        conflicts = 0
+        encode_misses = 0
         for target in FACTOR_TARGETS:
             solver = SmtSolver()
             solver.add_assertion(
@@ -142,10 +212,59 @@ def test_oneshot_factoring_baseline(benchmark):
             solver.add_assertion(T.mk_ult(T.bv_const(1, WIDTH), y))
             if solver.check() is SmtResult.SAT:
                 sats += 1
+            conflicts += solver.cumulative.conflicts
+            encode_misses += solver.blaster.cache_misses
+        _record_row("oneshot_factoring_baseline",
+                    time.perf_counter() - started,
+                    queries=len(FACTOR_TARGETS), sat=sats,
+                    conflicts=conflicts, encode_misses=encode_misses)
         return sats
 
     sats = benchmark.pedantic(run, rounds=1, iterations=1)
     assert sats == len(FACTOR_TARGETS)
+
+
+def test_budgeted_incremental_factoring(benchmark, budget_ms):
+    """The incremental sweep under a wall-clock budget (``--budget-ms``).
+
+    With the default (generous) budget every query completes; with a tight
+    one the sweep degrades gracefully — once the shared budget trips, the
+    remaining queries answer UNKNOWN immediately instead of hanging. The
+    JSON row records the budget and its spend either way, which is the
+    CI smoke check for the resource governor.
+    """
+    def run():
+        started = time.perf_counter()
+        budget = Budget(ms=budget_ms)
+        x = T.bv_var("bud_bench_x", WIDTH)
+        y = T.bv_var("bud_bench_y", WIDTH)
+        solver = SmtSolver(budget=budget)
+        product = T.mk_mul(x, y)
+        sats = unknowns = 0
+        for target in FACTOR_TARGETS:
+            result = _factoring_scope(solver, x, y, product, target)
+            if result is SmtResult.SAT:
+                sats += 1
+            elif result is SmtResult.UNKNOWN:
+                unknowns += 1
+        report = solver.last_report
+        print(f"\nbudgeted factoring ({budget_ms}ms): "
+              f"{sats} sat, {unknowns} unknown"
+              + (f", tripped: {report.reason}" if report else ""))
+        _record_row("budgeted_incremental_factoring",
+                    time.perf_counter() - started,
+                    queries=len(FACTOR_TARGETS), sat=sats, unknown=unknowns,
+                    budget_ms=budget_ms,
+                    budget_spent_conflicts=budget.spent_conflicts,
+                    budget_spent_propagations=budget.spent_propagations,
+                    budget_elapsed_seconds=budget.elapsed_seconds(),
+                    tripped_reason=report.reason if report else None,
+                    **_solver_fields(solver))
+        return sats, unknowns
+
+    sats, unknowns = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Every query is answered — some possibly by an honest UNKNOWN.
+    assert sats + unknowns == len(FACTOR_TARGETS)
 
 
 def test_cegis_synthesis_loop(benchmark):
@@ -162,6 +281,7 @@ def test_cegis_synthesis_loop(benchmark):
     from repro.vm import assert_, builtins as B
 
     def run():
+        started = time.perf_counter()
         x = fresh_int("cegis_x", width=16)
         h1 = fresh_int("cegis_h1", width=16)
         h2 = fresh_int("cegis_h2", width=16)
@@ -173,6 +293,11 @@ def test_cegis_synthesis_loop(benchmark):
         assert outcome.model.evaluate(h1) & 0xFFFF == 0xBEEF
         print(f"\ncegis synthesis: {outcome.message}")
         print(f"solver row: {outcome.stats.solver_row()}")
+        row = dict(outcome.stats.solver_row())
+        row["svm_seconds"] = outcome.stats.svm_seconds
+        row["solver_seconds"] = outcome.stats.solver_seconds
+        _record_row("cegis_synthesis_loop", time.perf_counter() - started,
+                    **row)
         return outcome.stats
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)

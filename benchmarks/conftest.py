@@ -18,6 +18,19 @@ def full_only(reason="set REPRO_BENCH_FULL=1 to include this row"):
     return pytest.mark.skipif(not FULL, reason=reason)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--budget-ms", type=int, default=None,
+        help="wall-clock budget (ms) for the budgeted benchmark rows; "
+             "defaults to a generous 60s so unbudgeted runs complete")
+
+
+@pytest.fixture
+def budget_ms(request):
+    value = request.config.getoption("--budget-ms")
+    return 60_000 if value is None else value
+
+
 @pytest.fixture(autouse=True)
 def _fresh_names():
     from repro.sym.fresh import reset_fresh_names

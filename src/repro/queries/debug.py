@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.smt import terms as T
 from repro.smt.solver import SmtResult, SmtSolver
+from repro.solver.budget import Budget
 from repro.sym.values import (
     SymInt,
     bool_term,
@@ -87,12 +88,19 @@ def relax(value, label):
 
 def debug(thunk: Callable[[], object],
           predicate: Optional[Callable[[object], bool]] = None,
-          max_conflicts: Optional[int] = None) -> QueryOutcome:
+          max_conflicts: Optional[int] = None,
+          budget: Optional[Budget] = None) -> QueryOutcome:
     """Localize the failure of `thunk` to a minimal core of expressions.
 
     Returns a ``sat`` outcome whose ``core`` lists the labels of a minimal
     set of relaxed expressions responsible for the failure; ``unsat`` means
     the thunk does not actually fail (nothing to debug).
+
+    `budget` bounds the whole query. Core minimization is *anytime*: if
+    the budget trips mid-minimization, the outcome is still ``sat`` with
+    the smallest core proven so far, plus the trip's ``report`` and a
+    message noting the core may not be minimal. Only an exhaustion during
+    the *initial* check yields ``unknown``.
     """
     if predicate is None:
         predicate = lambda value: True  # relax every primitive
@@ -109,27 +117,46 @@ def debug(thunk: Callable[[], object],
             return QueryOutcome(
                 "unknown", stats=vm.stats,
                 message="failure is independent of any relaxable expression")
-        solver = SmtSolver(max_conflicts=max_conflicts)
+        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
         for assertion in vm.assertions:
             solver.add_assertion(assertion)
         selectors = [selector for _, selector in session.relaxations]
         label_of = {selector: label for label, selector in session.relaxations}
         started = time.perf_counter()
-        result = solver.check(selectors)
-        vm.stats.record_check(solver.last_check)
-        if result is SmtResult.SAT:
+        try:
+            result = solver.check(selectors)
+        finally:
+            vm.stats.record_check(solver.last_check)
             vm.stats.solver_seconds += time.perf_counter() - started
+        if result is SmtResult.SAT:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="no assertion failure to debug")
         if result is SmtResult.UNKNOWN:
-            vm.stats.solver_seconds += time.perf_counter() - started
-            return QueryOutcome("unknown", stats=vm.stats)
+            report = solver.last_report
+            message = ""
+            if report is not None:
+                message = (f"budget exhausted: {report.reason}"
+                           f" ({report.phase} phase)")
+            return QueryOutcome("unknown", stats=vm.stats,
+                                message=message, report=report)
         # Deletion minimization runs many checks on the same persistent
         # solver; record their combined effort as a cumulative delta.
+        # minimize_core is anytime: on budget exhaustion it returns the
+        # smallest core established so far and leaves the trip report in
+        # solver.last_report.
+        started = time.perf_counter()
         before_minimize = solver.cumulative.copy()
-        core = solver.minimize_core()
-        vm.stats.record_check(solver.cumulative - before_minimize)
-        vm.stats.solver_seconds += time.perf_counter() - started
+        try:
+            core = solver.minimize_core()
+        finally:
+            vm.stats.record_check(solver.cumulative - before_minimize)
+            vm.stats.solver_seconds += time.perf_counter() - started
         labels = [label_of[selector] for selector in core
                   if selector in label_of]
-        return QueryOutcome("sat", core=labels, stats=vm.stats)
+        outcome = QueryOutcome("sat", core=labels, stats=vm.stats)
+        if solver.last_report is not None:
+            outcome.report = solver.last_report
+            outcome.message = ("core minimization stopped early "
+                               f"({solver.last_report.reason}); "
+                               "core is unsat but may not be minimal")
+        return outcome

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.smt import terms as T
 from repro.smt.solver import Model as SmtModel
+from repro.solver.budget import ResourceReport
 from repro.sym.values import Box, SymBool, SymInt, Union
 from repro.vm.mutable import Vector
 from repro.vm.stats import EvalStats
@@ -58,12 +59,21 @@ class Model:
 
 
 class QueryOutcome:
-    """The result of a solver-aided query."""
+    """The result of a solver-aided query.
+
+    An ``unknown`` outcome is never a silent shrug: :attr:`report` holds
+    the :class:`~repro.solver.budget.ResourceReport` saying which resource
+    limit tripped and what was spent. Anytime queries (CEGIS, debug's core
+    minimization) may pair ``unknown``/early-stop with a best-effort
+    :attr:`model` or :attr:`core` — the best answer found before the
+    budget ran out.
+    """
 
     def __init__(self, status: str, model: Optional[Model] = None,
                  core: Optional[List] = None,
                  stats: Optional[EvalStats] = None,
-                 message: str = ""):
+                 message: str = "",
+                 report: Optional[ResourceReport] = None):
         if status not in ("sat", "unsat", "unknown"):
             raise ValueError(f"bad status {status!r}")
         self.status = status
@@ -71,6 +81,7 @@ class QueryOutcome:
         self.core = core or []
         self.stats = stats or EvalStats()
         self.message = message
+        self.report = report
 
     def __bool__(self) -> bool:
         return self.status == "sat"

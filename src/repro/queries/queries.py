@@ -22,6 +22,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.smt import terms as T
 from repro.smt.solver import SmtResult, SmtSolver
+from repro.solver.budget import Budget
 from repro.sym.values import SymBool, SymInt
 from repro.vm.context import VM
 from repro.vm.errors import AssertionFailure
@@ -42,22 +43,41 @@ def _run(thunk: Callable[[], object], vm: VM):
 
 def _check(solver: SmtSolver, vm: VM,
            assumptions: Sequence[T.Term] = ()) -> SmtResult:
+    # try/finally: a check that raises mid-solve (cancellation delivered as
+    # an exception, KeyboardInterrupt, encoder errors) must still record
+    # its partial solver effort — SmtSolver.check refreshes `last_check`
+    # in its own finally block, so the delta here is never stale.
     started = time.perf_counter()
-    result = solver.check(assumptions)
-    vm.stats.solver_seconds += time.perf_counter() - started
-    vm.stats.record_check(solver.last_check)
-    return result
+    try:
+        return solver.check(assumptions)
+    finally:
+        vm.stats.solver_seconds += time.perf_counter() - started
+        vm.stats.record_check(solver.last_check)
+
+
+def _unknown(vm: VM, solver: SmtSolver, message: str = "") -> QueryOutcome:
+    """An UNKNOWN outcome carrying the solver's resource report."""
+    report = solver.last_report
+    if not message and report is not None:
+        message = f"budget exhausted: {report.reason} ({report.phase} phase)"
+    return QueryOutcome("unknown", stats=vm.stats, message=message,
+                        report=report)
 
 
 def solve(thunk: Callable[[], object],
-          max_conflicts: Optional[int] = None) -> QueryOutcome:
-    """Find an interpretation under which the thunk's assertions all hold."""
+          max_conflicts: Optional[int] = None,
+          budget: Optional[Budget] = None) -> QueryOutcome:
+    """Find an interpretation under which the thunk's assertions all hold.
+
+    `budget` bounds the whole query (encoding and solving); on exhaustion
+    the outcome is ``unknown`` with a populated ``report``.
+    """
     with VM() as vm:
         failed, _ = _run(thunk, vm)
         if failed:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="execution fails on every path")
-        solver = SmtSolver(max_conflicts=max_conflicts)
+        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
         for assertion in vm.assertions:
             solver.add_assertion(assertion)
         result = _check(solver, vm)
@@ -65,13 +85,14 @@ def solve(thunk: Callable[[], object],
             return QueryOutcome("sat", model=Model(solver.model()),
                                 stats=vm.stats)
         if result is SmtResult.UNKNOWN:
-            return QueryOutcome("unknown", stats=vm.stats)
+            return _unknown(vm, solver)
         return QueryOutcome("unsat", stats=vm.stats)
 
 
 def verify(thunk: Callable[[], object],
            setup: Optional[Callable[[], object]] = None,
-           max_conflicts: Optional[int] = None) -> QueryOutcome:
+           max_conflicts: Optional[int] = None,
+           budget: Optional[Budget] = None) -> QueryOutcome:
     """Find a counterexample: an interpretation violating some assertion.
 
     Assertions made by `setup` (and, in Rosette, any assertions made before
@@ -99,7 +120,7 @@ def verify(thunk: Callable[[], object],
         if not targets:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="no assertions reachable")
-        solver = SmtSolver(max_conflicts=max_conflicts)
+        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
         for assumption in assumptions:
             solver.add_assertion(assumption)
         solver.add_assertion(T.mk_or(*[T.mk_not(a) for a in targets]))
@@ -108,7 +129,7 @@ def verify(thunk: Callable[[], object],
             return QueryOutcome("sat", model=Model(solver.model()),
                                 stats=vm.stats)
         if result is SmtResult.UNKNOWN:
-            return QueryOutcome("unknown", stats=vm.stats)
+            return _unknown(vm, solver)
         return QueryOutcome("unsat", stats=vm.stats)
 
 
@@ -132,7 +153,9 @@ def _input_terms(inputs: Iterable) -> List[T.Term]:
 
 def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
           max_iterations: int = 64,
-          max_conflicts: Optional[int] = None) -> QueryOutcome:
+          max_conflicts: Optional[int] = None,
+          budget: Optional[Budget] = None,
+          iteration_budget: Optional[dict] = None) -> QueryOutcome:
     """Counterexample-guided inductive synthesis of ∃holes ∀inputs. goal.
 
     Counterexamples are *substituted* into the goal formula — the term
@@ -151,16 +174,42 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
       candidates. Terms shared between iterations (the interned term DAG
       guarantees structural sharing) hit the encode cache instead of
       being re-blasted.
+
+    Resource governance: `budget` caps the *whole* CEGIS run (both
+    solvers charge the same budget), while `iteration_budget` — a dict of
+    :class:`Budget` keyword arguments like ``{"conflicts": 10_000}`` — is
+    re-minted as a child budget each iteration, so one pathological guess
+    or check cannot consume the entire allowance. CEGIS is an *anytime*
+    query: on exhaustion it returns ``unknown`` carrying the last
+    candidate that satisfied all examples so far as a best-effort model.
     """
     inputs = set(input_terms)
     hole_terms = [var for var in T.term_vars(goal) if var not in inputs]
     examples: List[dict] = [{var: _default_value(var) for var in inputs}]
-    guess_solver = SmtSolver(max_conflicts=max_conflicts)
-    check_solver = SmtSolver(max_conflicts=max_conflicts)
+    guess_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
+    check_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
+
+    def _exhausted(solver: SmtSolver, phase: str) -> QueryOutcome:
+        outcome = _unknown(vm, solver)
+        outcome.message = (
+            f"cegis stopped in the {phase} phase of iteration {iterations}"
+            + (f": {outcome.message}" if outcome.message else ""))
+        if best_candidate is not None:
+            outcome.model = Model(best_candidate)
+            outcome.message += (
+                f"; best candidate satisfies {best_examples} example(s)")
+        return outcome
+
+    best_candidate = None
+    best_examples = 0
     examples_asserted = 0
     iterations = 0
     while iterations < max_iterations:
         iterations += 1
+        if iteration_budget is not None:
+            scoped = Budget(parent=budget, **iteration_budget)
+            guess_solver.set_budget(scoped)
+            check_solver.set_budget(scoped)
         # Guess: find hole values consistent with all examples so far.
         # Only the examples discovered since the last guess need encoding.
         while examples_asserted < len(examples):
@@ -172,12 +221,14 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
             guess_solver.add_assertion(bound)
         guess_result = _check(guess_solver, vm)
         if guess_result is SmtResult.UNKNOWN:
-            return QueryOutcome("unknown", stats=vm.stats)
+            return _exhausted(guess_solver, "guess")
         if guess_result is not SmtResult.SAT:
             return QueryOutcome(
                 "unsat", stats=vm.stats,
                 message=f"no candidate after {len(examples)} example(s)")
         candidate = guess_solver.model(hole_terms)
+        best_candidate = candidate
+        best_examples = len(examples)
 
         # Check: does the candidate work for every input? The candidate
         # binding lives in a scope so the next iteration can retract it.
@@ -192,27 +243,34 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
         finally:
             check_solver.pop()
         if check_result is SmtResult.UNKNOWN:
-            return QueryOutcome("unknown", stats=vm.stats)
+            return _exhausted(check_solver, "check")
         if check_result is not SmtResult.SAT:
             outcome = QueryOutcome("sat", model=Model(candidate),
                                    stats=vm.stats)
             outcome.message = f"cegis converged in {iterations} iteration(s)"
             return outcome
         examples.append({var: counterexample[var] for var in inputs})
-    return QueryOutcome("unknown", stats=vm.stats,
-                        message=f"cegis hit the {max_iterations}-iteration cap")
+    outcome = QueryOutcome(
+        "unknown", stats=vm.stats,
+        message=f"cegis hit the {max_iterations}-iteration cap")
+    if best_candidate is not None:
+        outcome.model = Model(best_candidate)
+    return outcome
 
 
 def synthesize(inputs: Sequence, thunk: Callable[[], object],
                setup: Optional[Callable[[], object]] = None,
                max_iterations: int = 64,
-               max_conflicts: Optional[int] = None) -> QueryOutcome:
+               max_conflicts: Optional[int] = None,
+               budget: Optional[Budget] = None,
+               iteration_budget: Optional[dict] = None) -> QueryOutcome:
     """CEGIS synthesis: make the assertions hold for *all* `inputs`.
 
     `inputs` are the universally quantified symbolic constants (the paper's
     ``(synthesize [input] expr)`` form); every other symbolic constant in
     the assertions is an existentially quantified hole. Assertions made by
     `setup` are input preconditions: the goal is ∀inputs. pre ⇒ post.
+    See :func:`cegis` for the `budget`/`iteration_budget` semantics.
     """
     with VM() as vm:
         if setup is not None:
@@ -232,7 +290,9 @@ def synthesize(inputs: Sequence, thunk: Callable[[], object],
         goal = T.mk_implies(pre, post)
         return cegis(goal, _input_terms(inputs), vm,
                      max_iterations=max_iterations,
-                     max_conflicts=max_conflicts)
+                     max_conflicts=max_conflicts,
+                     budget=budget,
+                     iteration_budget=iteration_budget)
 
 
 def _default_value(var: T.Term):

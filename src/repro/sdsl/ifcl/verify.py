@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.queries import verify
+from repro.queries import Budget, ResourceReport, verify
 from repro.sym import fresh_bool, fresh_int, ops
 from repro.sym.values import SymBool, SymInt
 from repro.vm import assert_
@@ -120,6 +120,7 @@ class EENIResult:
     status: str                    # "secure" | "insecure" | "unknown"
     counterexample: Optional[List[str]] = None
     stats: EvalStats = field(default_factory=EvalStats)
+    report: Optional[ResourceReport] = None
 
     @property
     def is_secure(self) -> bool:
@@ -155,10 +156,16 @@ def eeni_thunks(semantics: Semantics, length: int):
 
 
 def eeni_check(semantics: Semantics, length: int,
-               max_conflicts: Optional[int] = None) -> EENIResult:
-    """Run the bounded EENI verifier for one machine and bound."""
+               max_conflicts: Optional[int] = None,
+               budget: Optional[Budget] = None) -> EENIResult:
+    """Run the bounded EENI verifier for one machine and bound.
+
+    `budget` bounds the query; a trip yields ``unknown`` (neither secure
+    nor insecure) with the :class:`~repro.queries.ResourceReport` attached.
+    """
     setup, check, program = eeni_thunks(semantics, length)
-    outcome = verify(check, setup=setup, max_conflicts=max_conflicts)
+    outcome = verify(check, setup=setup, max_conflicts=max_conflicts,
+                     budget=budget)
     if outcome.status == "sat":
         return EENIResult(machine=semantics.name, length=length,
                           status="insecure",
@@ -168,4 +175,5 @@ def eeni_check(semantics: Semantics, length: int,
         return EENIResult(machine=semantics.name, length=length,
                           status="secure", stats=outcome.stats)
     return EENIResult(machine=semantics.name, length=length,
-                      status="unknown", stats=outcome.stats)
+                      status="unknown", stats=outcome.stats,
+                      report=outcome.report)

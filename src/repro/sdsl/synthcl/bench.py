@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.queries import QueryOutcome, synthesize, verify
+from repro.queries import Budget, QueryOutcome, synthesize, verify
 from repro.sym import fresh_int, ops
 from repro.sym.values import SymInt
 from repro.vm import assert_
@@ -51,7 +51,8 @@ class SynthClBenchmark:
 # MM
 # ---------------------------------------------------------------------------
 
-def _mm_verify(version: int, dims: Sequence[Tuple[int, int, int]]) -> QueryOutcome:
+def _mm_verify(version: int, dims: Sequence[Tuple[int, int, int]],
+               budget: Optional[Budget] = None) -> QueryOutcome:
     implementation = {1: mm.mm_parallel_v1, 2: mm.mm_parallel_v2}[version]
     last: Optional[QueryOutcome] = None
     for n, p, m in dims:
@@ -60,14 +61,15 @@ def _mm_verify(version: int, dims: Sequence[Tuple[int, int, int]]) -> QueryOutco
             b = _symbolic_array("b", p * m)
             _assert_equal_arrays(mm.mm_reference(a, b, n, p, m),
                                  implementation(a, b, n, p, m))
-        outcome = verify(thunk)
+        outcome = verify(thunk, budget=budget)
         last = _merge_outcomes(last, outcome)
-        if outcome.status == "sat":
-            return last  # counterexample: stop early
+        if outcome.status != "unsat":
+            return last  # counterexample or exhausted budget: stop early
     return last
 
 
-def _mm_synthesize(dims: Sequence[Tuple[int, int, int]]) -> QueryOutcome:
+def _mm_synthesize(dims: Sequence[Tuple[int, int, int]],
+                   budget: Optional[Budget] = None) -> QueryOutcome:
     n, p, m = dims[0]
     inputs: List = []
 
@@ -77,7 +79,7 @@ def _mm_synthesize(dims: Sequence[Tuple[int, int, int]]) -> QueryOutcome:
         inputs.extend(a + b)
         _assert_equal_arrays(mm.mm_reference(a, b, n, p, m),
                              mm.mm_sketch(a, b, n, p, m))
-    return synthesize(_LazyInputs(inputs), thunk)
+    return synthesize(_LazyInputs(inputs), thunk, budget=budget)
 
 
 class _LazyInputs:
@@ -94,7 +96,8 @@ class _LazyInputs:
 # SF
 # ---------------------------------------------------------------------------
 
-def _sf_verify(version: int, sizes: Sequence[Tuple[int, int]]) -> QueryOutcome:
+def _sf_verify(version: int, sizes: Sequence[Tuple[int, int]],
+               budget: Optional[Budget] = None) -> QueryOutcome:
     implementation = sobel.SOBEL_VERSIONS[version]
     last: Optional[QueryOutcome] = None
     for w, h in sizes:
@@ -102,14 +105,15 @@ def _sf_verify(version: int, sizes: Sequence[Tuple[int, int]]) -> QueryOutcome:
             image = _symbolic_array("px", w * h * sobel.CHANNELS)
             _assert_equal_arrays(sobel.sobel_reference(image, w, h),
                                  implementation(image, w, h))
-        outcome = verify(thunk)
+        outcome = verify(thunk, budget=budget)
         last = _merge_outcomes(last, outcome)
-        if outcome.status == "sat":
+        if outcome.status != "unsat":
             return last
     return last
 
 
-def _sf_synthesize(sizes: Sequence[Tuple[int, int]]) -> QueryOutcome:
+def _sf_synthesize(sizes: Sequence[Tuple[int, int]],
+                   budget: Optional[Budget] = None) -> QueryOutcome:
     w, h = sizes[0]
     inputs: List = []
 
@@ -118,14 +122,15 @@ def _sf_synthesize(sizes: Sequence[Tuple[int, int]]) -> QueryOutcome:
         inputs.extend(image)
         _assert_equal_arrays(sobel.sobel_reference(image, w, h),
                              sobel.sobel_sketch(image, w, h))
-    return synthesize(_LazyInputs(inputs), thunk)
+    return synthesize(_LazyInputs(inputs), thunk, budget=budget)
 
 
 # ---------------------------------------------------------------------------
 # FWT
 # ---------------------------------------------------------------------------
 
-def _fwt_verify(version: int, exponents: Sequence[int]) -> QueryOutcome:
+def _fwt_verify(version: int, exponents: Sequence[int],
+                budget: Optional[Budget] = None) -> QueryOutcome:
     implementation = {1: fwt.fwt_parallel_v1, 2: fwt.fwt_parallel_v2}[version]
     last: Optional[QueryOutcome] = None
     for k in exponents:
@@ -133,14 +138,15 @@ def _fwt_verify(version: int, exponents: Sequence[int]) -> QueryOutcome:
             data = _symbolic_array("x", 1 << k)
             _assert_equal_arrays(fwt.fwt_reference(data),
                                  implementation(data))
-        outcome = verify(thunk)
+        outcome = verify(thunk, budget=budget)
         last = _merge_outcomes(last, outcome)
-        if outcome.status == "sat":
+        if outcome.status != "unsat":
             return last
     return last
 
 
-def _fwt_synthesize(exponents: Sequence[int]) -> QueryOutcome:
+def _fwt_synthesize(exponents: Sequence[int],
+                    budget: Optional[Budget] = None) -> QueryOutcome:
     k = exponents[0]
     inputs: List = []
 
@@ -148,7 +154,7 @@ def _fwt_synthesize(exponents: Sequence[int]) -> QueryOutcome:
         data = _symbolic_array("x", 1 << k)
         inputs.extend(data)
         _assert_equal_arrays(fwt.fwt_reference(data), fwt.fwt_sketch(data))
-    return synthesize(_LazyInputs(inputs), thunk)
+    return synthesize(_LazyInputs(inputs), thunk, budget=budget)
 
 
 def _merge_outcomes(accumulated: Optional[QueryOutcome],
@@ -164,6 +170,14 @@ def _merge_outcomes(accumulated: Optional[QueryOutcome],
         accumulated.stats.max_union_cardinality)
     outcome.stats.svm_seconds += accumulated.stats.svm_seconds
     outcome.stats.solver_seconds += accumulated.stats.solver_seconds
+    outcome.stats.solver_checks += accumulated.stats.solver_checks
+    outcome.stats.solver_conflicts += accumulated.stats.solver_conflicts
+    outcome.stats.solver_decisions += accumulated.stats.solver_decisions
+    outcome.stats.solver_propagations += accumulated.stats.solver_propagations
+    outcome.stats.solver_learned += accumulated.stats.solver_learned
+    outcome.stats.encode_cache_hits += accumulated.stats.encode_cache_hits
+    outcome.stats.encode_cache_misses += accumulated.stats.encode_cache_misses
+    outcome.stats.budget_trips += accumulated.stats.budget_trips
     return outcome
 
 
@@ -187,42 +201,50 @@ def _register(name: str, kind: str, bounds, paper_bounds: str, run) -> None:
 
 _register("MM1v", "verify", _MM_DIMS,
           "n,p,m ∈ {4,8,12,16}, 32-bit",
-          lambda bounds: _mm_verify(1, bounds))
+          lambda bounds, budget=None: _mm_verify(1, bounds, budget))
 _register("MM2v", "verify", _MM_DIMS,
           "n,p,m ∈ {4,8,12,16}, 32-bit",
-          lambda bounds: _mm_verify(2, bounds))
+          lambda bounds, budget=None: _mm_verify(2, bounds, budget))
 _register("MM2s", "synthesize", [(2, 3, 2)],
           "n,p,m ∈ {8}, 8-bit",
-          lambda bounds: _mm_synthesize(bounds))
+          lambda bounds, budget=None: _mm_synthesize(bounds, budget))
 for _v in (1, 2, 3, 4, 5):
     _register(f"SF{_v}v", "verify", _SF_SIZES,
               "w,h ∈ {1..9}, 32-bit",
-              lambda bounds, _v=_v: _sf_verify(_v, bounds))
+              lambda bounds, budget=None, _v=_v: _sf_verify(_v, bounds, budget))
 for _v in (6, 7):
     _register(f"SF{_v}v", "verify", _SF_INTERIOR,
               "w,h ∈ {3..9}, 32-bit",
-              lambda bounds, _v=_v: _sf_verify(_v, bounds))
+              lambda bounds, budget=None, _v=_v: _sf_verify(_v, bounds, budget))
 _register("SF3s", "synthesize", [(2, 2)],
           "w,h ∈ {1..4}, 8-bit",
-          lambda bounds: _sf_synthesize(bounds))
+          lambda bounds, budget=None: _sf_synthesize(bounds, budget))
 _register("SF7s", "synthesize", [(3, 3)],
           "w,h ∈ {4}, 8-bit",
-          lambda bounds: _sf_synthesize(bounds))
+          lambda bounds, budget=None: _sf_synthesize(bounds, budget))
 _register("FWT1v", "verify", _FWT_EXPONENTS,
           "2^k, k ∈ {0..6}, 32-bit",
-          lambda bounds: _fwt_verify(1, bounds))
+          lambda bounds, budget=None: _fwt_verify(1, bounds, budget))
 _register("FWT2v", "verify", _FWT_EXPONENTS,
           "2^k, k ∈ {0..6}, 32-bit",
-          lambda bounds: _fwt_verify(2, bounds))
+          lambda bounds, budget=None: _fwt_verify(2, bounds, budget))
 _register("FWT1s", "synthesize", [3],
           "2^k, k ∈ {3}, 8-bit",
-          lambda bounds: _fwt_synthesize(bounds))
+          lambda bounds, budget=None: _fwt_synthesize(bounds, budget))
 _register("FWT2s", "synthesize", [2],
           "2^k, k ∈ {3}, 8-bit",
-          lambda bounds: _fwt_synthesize(bounds))
+          lambda bounds, budget=None: _fwt_synthesize(bounds, budget))
 
 
-def run_benchmark(name: str, bounds=None) -> QueryOutcome:
-    """Run one Table 1 benchmark; returns its QueryOutcome with stats."""
+def run_benchmark(name: str, bounds=None,
+                  budget: Optional[Budget] = None) -> QueryOutcome:
+    """Run one Table 1 benchmark; returns its QueryOutcome with stats.
+
+    `budget` caps the whole benchmark: verification sweeps share it across
+    every bound in the sweep (and stop at the first unknown), and synthesis
+    benchmarks hand it to CEGIS. On exhaustion the outcome is ``unknown``
+    with a :class:`~repro.queries.ResourceReport`.
+    """
     benchmark = SYNTHCL_BENCHMARKS[name]
-    return benchmark.run(bounds if bounds is not None else benchmark.bounds)
+    return benchmark.run(bounds if bounds is not None else benchmark.bounds,
+                         budget=budget)

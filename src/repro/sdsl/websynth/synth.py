@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
-from repro.queries import solve
+from repro.queries import Budget, ResourceReport, solve
 from repro.vm import assert_
 from repro.vm.stats import EvalStats
 from repro.sdsl.websynth.tree import HtmlNode
@@ -31,16 +31,19 @@ class WebSynthResult:
     status: str                       # "sat" | "unsat" | "unknown"
     xpath: Optional[Tuple[str, ...]] = None
     stats: EvalStats = field(default_factory=EvalStats)
+    report: Optional[ResourceReport] = None
 
 
 def synthesize_xpath(root: HtmlNode, examples: Sequence[str],
                      length: Optional[int] = None,
-                     max_conflicts: Optional[int] = None) -> WebSynthResult:
+                     max_conflicts: Optional[int] = None,
+                     budget: Optional[Budget] = None) -> WebSynthResult:
     """Synthesize an XPath selecting every example text of `root`.
 
     `length` defaults to the depth of the example nodes (the synthetic
     sites plant all records at one depth); the tree's own depth is the
-    natural upper bound noted in the paper.
+    natural upper bound noted in the paper. `budget` bounds the query; on
+    exhaustion the result is ``unknown`` with the trip's ``report``.
     """
     if length is None:
         length = _example_depth(root, examples[0])
@@ -57,12 +60,13 @@ def synthesize_xpath(root: HtmlNode, examples: Sequence[str],
             reached = xpath_selects(root, xpath, 0, example)
             assert_(reached, f"XPath must reach {example!r}")
 
-    outcome = solve(program, max_conflicts=max_conflicts)
+    outcome = solve(program, max_conflicts=max_conflicts, budget=budget)
     if outcome.status == "sat":
         return WebSynthResult(status="sat",
                               xpath=holder["xpath"].decode(outcome.model),
                               stats=outcome.stats)
-    return WebSynthResult(status=outcome.status, stats=outcome.stats)
+    return WebSynthResult(status=outcome.status, stats=outcome.stats,
+                          report=outcome.report)
 
 
 def _example_depth(root: HtmlNode, text: str) -> Optional[int]:

@@ -17,7 +17,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt import terms as T
+from repro.solver.budget import Budget, BudgetExhausted
 from repro.solver.sat import SatSolver
+
+# Cache misses between encode-side budget checkpoints. Encoding a term is
+# orders of magnitude cheaper than solving it, so a coarse cadence keeps
+# the checkpoint invisible on the profile while still bounding how long a
+# giant circuit (a wide multiplier, a deep shifter tower) can stall a
+# cancelled or deadline-expired query.
+_ENCODE_CHECK_INTERVAL = 128
 
 
 class BitBlaster:
@@ -39,6 +47,25 @@ class BitBlaster:
         # once — incremental queries re-encode nothing.
         self.cache_hits = 0
         self.cache_misses = 0
+        # Resource governance: encoding checkpoints this budget every
+        # _ENCODE_CHECK_INTERVAL cache misses and raises BudgetExhausted
+        # when it trips (deadline/cancellation; spend caps are charged by
+        # the SAT layer).
+        self.budget: Optional[Budget] = None
+        self._since_budget_check = 0
+
+    def _budget_checkpoint(self) -> None:
+        budget = self.budget
+        if budget is None:
+            return
+        self._since_budget_check += 1
+        if self._since_budget_check < _ENCODE_CHECK_INTERVAL:
+            return
+        self._since_budget_check = 0
+        budget.start()
+        reason = budget.exceeded()
+        if reason is not None:
+            raise BudgetExhausted(budget.report(reason, phase="encode"))
 
     # ------------------------------------------------------------------
     # Literal-level gates (with constant short-circuiting and caching)
@@ -286,6 +313,7 @@ class BitBlaster:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
+        self._budget_checkpoint()
         lit = self._translate_bool(term)
         self._bool_memo[term] = lit
         return lit
@@ -299,6 +327,7 @@ class BitBlaster:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
+        self._budget_checkpoint()
         bits = self._translate_bv(term)
         self._bv_memo[term] = bits
         return bits

@@ -33,8 +33,11 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import time
+
 from repro.smt import terms as T
 from repro.smt.bitblast import BitBlaster
+from repro.solver.budget import Budget, BudgetExhausted, ResourceReport
 from repro.solver.sat import SatResult, SatSolver
 
 
@@ -60,11 +63,16 @@ class CheckStats:
     learned: int = 0
     encode_hits: int = 0
     encode_misses: int = 0
+    # Budget consumption: wall-clock spent inside `check` and how many of
+    # the covered checks tripped a resource limit (returned UNKNOWN).
+    seconds: float = 0.0
+    tripped: int = 0
 
     def copy(self) -> "CheckStats":
         return CheckStats(self.checks, self.conflicts, self.decisions,
                           self.propagations, self.learned,
-                          self.encode_hits, self.encode_misses)
+                          self.encode_hits, self.encode_misses,
+                          self.seconds, self.tripped)
 
     def __sub__(self, other: "CheckStats") -> "CheckStats":
         return CheckStats(
@@ -74,7 +82,9 @@ class CheckStats:
             self.propagations - other.propagations,
             self.learned - other.learned,
             self.encode_hits - other.encode_hits,
-            self.encode_misses - other.encode_misses)
+            self.encode_misses - other.encode_misses,
+            self.seconds - other.seconds,
+            self.tripped - other.tripped)
 
     def __iadd__(self, other: "CheckStats") -> "CheckStats":
         self.checks += other.checks
@@ -84,6 +94,8 @@ class CheckStats:
         self.learned += other.learned
         self.encode_hits += other.encode_hits
         self.encode_misses += other.encode_misses
+        self.seconds += other.seconds
+        self.tripped += other.tripped
         return self
 
 
@@ -136,7 +148,8 @@ class _Scope:
 class SmtSolver:
     """Incremental satisfiability checks for boolean/bitvector formulas."""
 
-    def __init__(self, max_conflicts: Optional[int] = None):
+    def __init__(self, max_conflicts: Optional[int] = None,
+                 budget: Optional[Budget] = None):
         self.sat = SatSolver()
         self.sat.max_conflicts = max_conflicts
         self.blaster = BitBlaster(self.sat)
@@ -153,6 +166,24 @@ class SmtSolver:
         self.cumulative: CheckStats = CheckStats()
         self._mark: CheckStats = self._stats_mark()
         self._core_counts: Dict[T.Term, int] = {}
+        # Resource governance. `last_report` describes the most recent
+        # UNKNOWN (why the solver gave up, what it spent); an encode-phase
+        # trip poisons the instance — the formula is only partially
+        # encoded, so every later check answers UNKNOWN.
+        self.budget: Optional[Budget] = None
+        self.last_report: Optional[ResourceReport] = None
+        self._encode_report: Optional[ResourceReport] = None
+        self.set_budget(budget)
+
+    def set_budget(self, budget: Optional[Budget]) -> None:
+        """Install (or clear) the budget charged by encoding and search.
+
+        Swappable between checks — CEGIS points both of its solvers at a
+        fresh per-iteration child budget each round.
+        """
+        self.budget = budget
+        self.sat.budget = budget
+        self.blaster.budget = budget
 
     # ------------------------------------------------------------------
     # Assertions and scopes
@@ -170,11 +201,27 @@ class SmtSolver:
             scope = self._scopes[-1]
             scope.assertions.append(term)
             scope.has_false = scope.has_false or term is T.FALSE
-            self.blaster.assert_term(term, guard=-scope.act)
+            self._encode(term, guard=-scope.act)
         else:
             self._assertions.append(term)
             self._base_false = self._base_false or term is T.FALSE
-            self.blaster.assert_term(term)
+            self._encode(term)
+
+    def _encode(self, term: T.Term, guard: Optional[int] = None) -> None:
+        """Bit-blast one assertion, downgrading encode-budget trips.
+
+        A trip mid-encoding leaves the SAT instance with a *partial*
+        formula, so instead of letting :class:`BudgetExhausted` escape the
+        solver records the report and poisons itself: every subsequent
+        :meth:`check` returns UNKNOWN carrying that report. Callers keep
+        the exception-free `check` contract either way.
+        """
+        if self._encode_report is not None:
+            return  # already poisoned; do not waste more encode work
+        try:
+            self.blaster.assert_term(term, guard=guard)
+        except BudgetExhausted as exhausted:
+            self._encode_report = exhausted.report
 
     def add_assertions(self, terms: Iterable[T.Term]) -> None:
         for term in terms:
@@ -231,10 +278,13 @@ class SmtSolver:
                           sat.num_propagations, sat.num_learned,
                           blaster.cache_hits, blaster.cache_misses)
 
-    def _record_check(self) -> None:
+    def _record_check(self, seconds: float = 0.0,
+                      tripped: bool = False) -> None:
         now = self._stats_mark()
         delta = now - self._mark
         delta.checks = 1
+        delta.seconds = seconds
+        delta.tripped = 1 if tripped else 0
         self._mark = now
         self.last_check = delta
         self.cumulative += delta
@@ -254,37 +304,79 @@ class SmtSolver:
         the conflict. Assertions (scoped or not) never appear in the core;
         in particular, when the assertions alone are unsatisfiable the core
         is empty — no subset of the assumptions is to blame.
+
+        On UNKNOWN — a tripped :class:`~repro.solver.budget.Budget`, a
+        cancelled token, or the legacy ``max_conflicts`` cap —
+        :attr:`last_report` carries the :class:`ResourceReport` naming the
+        limit and the spend. The :class:`CheckStats` delta is recorded in
+        a ``finally`` block, so accounting survives a check that raises
+        mid-solve (cancellation via exception, interrupts, encoder bugs).
         """
         self._last_core = []
-        # Fast path: a constant-false assertion makes the problem UNSAT
-        # regardless of the assumptions, so the core of assumptions is [].
-        if self._base_false or any(s.has_false for s in self._scopes):
-            self._record_check()
-            return self._finish(SmtResult.UNSAT)
-        lits = []
-        lit_to_term: Dict[int, T.Term] = {}
-        for term in assumptions:
-            if term is T.TRUE:
-                continue
-            if term is T.FALSE:
-                self._record_check()
-                return self._finish(SmtResult.UNSAT, [term])
-            lit = self._assumption_lit(term)
-            lits.append(lit)
-            lit_to_term[lit] = term
-        # Activation literals of open scopes are standing assumptions.
-        act_lits = [scope.act for scope in self._scopes]
-        result = self.sat.solve(act_lits + lits)
-        self._record_check()
-        if result is SatResult.SAT:
-            return self._finish(SmtResult.SAT)
-        if result is SatResult.UNKNOWN:
-            return self._finish(SmtResult.UNKNOWN)
-        core_lits = self.sat.unsat_core()
-        # Activation literals are implementation detail, not assumptions:
-        # lit_to_term filters them out of the reported core.
-        core = [lit_to_term[lit] for lit in core_lits if lit in lit_to_term]
-        return self._finish(SmtResult.UNSAT, core)
+        self.last_report = None
+        started = time.perf_counter()
+        tripped = False
+        try:
+            # A budget trip during encoding means the SAT instance holds
+            # only part of the formula: UNKNOWN is the only sound answer.
+            if self._encode_report is not None:
+                tripped = True
+                self.last_report = self._encode_report
+                return self._finish(SmtResult.UNKNOWN)
+            # Fast path: a constant-false assertion makes the problem UNSAT
+            # regardless of the assumptions, so the core of assumptions is [].
+            if self._base_false or any(s.has_false for s in self._scopes):
+                return self._finish(SmtResult.UNSAT)
+            lits = []
+            lit_to_term: Dict[int, T.Term] = {}
+            try:
+                for term in assumptions:
+                    if term is T.TRUE:
+                        continue
+                    if term is T.FALSE:
+                        return self._finish(SmtResult.UNSAT, [term])
+                    lit = self._assumption_lit(term)
+                    lits.append(lit)
+                    lit_to_term[lit] = term
+            except BudgetExhausted as exhausted:
+                # Assumption terms are encoded on first use; a trip here is
+                # an encode-phase trip like any other.
+                tripped = True
+                self._encode_report = exhausted.report
+                self.last_report = exhausted.report
+                return self._finish(SmtResult.UNKNOWN)
+            # Activation literals of open scopes are standing assumptions.
+            act_lits = [scope.act for scope in self._scopes]
+            result = self.sat.solve(act_lits + lits)
+            if result is SatResult.SAT:
+                return self._finish(SmtResult.SAT)
+            if result is SatResult.UNKNOWN:
+                tripped = True
+                self.last_report = self._search_report(started)
+                return self._finish(SmtResult.UNKNOWN)
+            core_lits = self.sat.unsat_core()
+            # Activation literals are implementation detail, not assumptions:
+            # lit_to_term filters them out of the reported core.
+            core = [lit_to_term[lit] for lit in core_lits
+                    if lit in lit_to_term]
+            return self._finish(SmtResult.UNSAT, core)
+        finally:
+            self._record_check(time.perf_counter() - started, tripped)
+
+    def _search_report(self, started: float) -> ResourceReport:
+        """Describe a search-phase UNKNOWN (budget trip or conflict cap)."""
+        reason = self.sat.interrupt_reason
+        if self.budget is not None and reason is not None:
+            return self.budget.report(reason, phase="search")
+        # Legacy max_conflicts cap: report this check's own spend.
+        delta = self._stats_mark() - self._mark
+        return ResourceReport(
+            reason=reason or "conflicts", phase="search",
+            elapsed_seconds=time.perf_counter() - started,
+            conflicts=delta.conflicts,
+            propagations=delta.propagations,
+            learned=delta.learned,
+            limits={"max_conflicts": self.sat.max_conflicts})
 
     # ------------------------------------------------------------------
     # Results
@@ -323,6 +415,12 @@ class SmtSolver:
 
         The solver's result/model state is restored afterwards: a model
         obtained from a SAT check before minimization is still retrievable.
+
+        Minimization is *anytime* under a budget: each deletion probe is a
+        `check`, and when one answers UNKNOWN (budget tripped mid-probe)
+        the loop stops and returns the smallest core established so far —
+        still a correct unsat core, just not necessarily minimal.
+        :attr:`last_report` says why minimization stopped early.
         """
         current = list(self._last_core if core is None else core)
         saved_result = self._last_result
@@ -332,7 +430,10 @@ class SmtSolver:
         i = 0
         while i < len(current):
             trial = current[:i] + current[i + 1:]
-            if self.check(trial) is SmtResult.UNSAT:
+            result = self.check(trial)
+            if result is SmtResult.UNKNOWN:
+                break
+            if result is SmtResult.UNSAT:
                 # The i-th element is redundant; the new core is `trial`'s.
                 refined = self.unsat_core()
                 current = [t for t in trial if t in set(refined)] or trial

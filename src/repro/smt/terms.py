@@ -18,6 +18,8 @@ Sorts
 
 from __future__ import annotations
 
+import gc
+import weakref
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 # ---------------------------------------------------------------------------
@@ -109,7 +111,16 @@ class Term:
         return to_sexpr(self, max_depth=4)
 
 
-_TABLE: Dict[Tuple, Term] = {}
+# Weak-value interning: the table maps a structural key to the one live
+# Term with that structure, but does not keep it alive. When the last
+# outside reference to a term dies, its entry vanishes (each key tuple
+# holds strong references to the term's *args*, so subterm entries only
+# follow once every parent entry is gone — the DAG unravels top-down).
+# This is what makes it safe for the table to outlive any particular
+# query: live terms are never evicted, so structural equality remains
+# object identity across query boundaries, and dead terms cost nothing.
+_TABLE: "weakref.WeakValueDictionary[Tuple, Term]" = \
+    weakref.WeakValueDictionary()
 
 
 def _intern(op: str, args: Tuple[Term, ...], payload, sort: str,
@@ -123,10 +134,17 @@ def _intern(op: str, args: Tuple[Term, ...], payload, sort: str,
 
 
 def reset_terms() -> None:
-    """Clear the intern table (frees memory between independent runs)."""
-    _TABLE.clear()
-    _TABLE[(OP_TRUE, (), None, 0)] = TRUE
-    _TABLE[(OP_FALSE, (), None, 0)] = FALSE
+    """Reclaim interned terms that are no longer referenced.
+
+    Historical note: this used to *clear* the table, which broke the
+    interning invariant — a term built before the clear and a structurally
+    equal one built after were distinct objects, so identity-based
+    equality silently failed across query boundaries. Interning is weak
+    now: dead terms leave the table on their own, so all this needs to do
+    is run a collection to break any lingering reference cycles. Live
+    terms are never evicted.
+    """
+    gc.collect()
 
 
 def num_interned_terms() -> int:

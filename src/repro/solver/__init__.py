@@ -7,13 +7,23 @@ A from-scratch CDCL SAT solver with:
 - VSIDS-style variable activity with phase saving,
 - Luby restarts and learned-clause database reduction,
 - solving under assumptions with final-conflict unsat cores,
-- deletion-based core minimization.
+- deletion-based core minimization,
+- cooperative resource budgets and cancellation (:mod:`repro.solver.budget`).
 
 The paper uses Z3; this package is the drop-in satisfiability engine that
 the bitvector layer (:mod:`repro.smt`) bit-blasts into.
 """
 
+from repro.solver.budget import (
+    Budget,
+    BudgetExhausted,
+    CancellationToken,
+    ResourceReport,
+)
 from repro.solver.cnf import CNF, parse_dimacs, to_dimacs
 from repro.solver.sat import SatSolver, SatResult
 
-__all__ = ["CNF", "SatSolver", "SatResult", "parse_dimacs", "to_dimacs"]
+__all__ = [
+    "Budget", "BudgetExhausted", "CancellationToken", "ResourceReport",
+    "CNF", "SatSolver", "SatResult", "parse_dimacs", "to_dimacs",
+]

@@ -17,6 +17,8 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.solver.budget import Budget
+
 
 class SatResult(enum.Enum):
     """Outcome of a :meth:`SatSolver.solve` call."""
@@ -106,6 +108,11 @@ class SatSolver:
         self.num_propagations = 0
         self.num_learned = 0
         self.max_conflicts: Optional[int] = None
+        # Resource governance: when set, the search charges this budget
+        # and returns UNKNOWN as soon as it trips; `interrupt_reason`
+        # then names the limit (see repro.solver.budget).
+        self.budget: Optional[Budget] = None
+        self.interrupt_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -280,6 +287,8 @@ class SatSolver:
         finally:
             self._qhead = qhead
             self.num_propagations += processed
+            if self.budget is not None and processed:
+                self.budget.charge_propagations(processed)
 
     # ------------------------------------------------------------------
     # Conflict analysis
@@ -532,11 +541,23 @@ class SatSolver:
                     break
 
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Solve under the given external assumption literals."""
+        """Solve under the given external assumption literals.
+
+        Returns UNKNOWN — never hangs — when :attr:`budget` trips or the
+        legacy :attr:`max_conflicts` cap is reached; :attr:`interrupt_reason`
+        records which budget limit was responsible.
+        """
         self._model = None
         self._conflict_core = []
+        self.interrupt_reason = None
         if not self._ok:
             return SatResult.UNSAT
+        if self.budget is not None:
+            self.budget.start()
+            reason = self.budget.exceeded()
+            if reason is not None:
+                self.interrupt_reason = reason
+                return SatResult.UNKNOWN
         self._ensure_vars(assumptions)
         internal_assumptions = [self._to_internal(lit) for lit in assumptions]
 
@@ -546,8 +567,9 @@ class SatSolver:
 
         while True:
             restart_index += 1
-            budget = 100 * _luby(restart_index)
-            status = self._search(internal_assumptions, budget, max_learnts)
+            restart_limit = 100 * _luby(restart_index)
+            status = self._search(internal_assumptions, restart_limit,
+                                  max_learnts)
             if status is not None:
                 self._cancel_until(0)
                 return status
@@ -558,8 +580,9 @@ class SatSolver:
             max_learnts = int(max_learnts * 1.1)
             self._cancel_until(0)
 
-    def _search(self, assumptions: List[int], budget: int,
+    def _search(self, assumptions: List[int], restart_limit: int,
                 max_learnts: int) -> Optional[SatResult]:
+        budget = self.budget
         conflicts = 0
         while True:
             confl = self._propagate()
@@ -569,8 +592,18 @@ class SatSolver:
                 if self._decision_level() == 0:
                     self._ok = False
                     return SatResult.UNSAT
+                if budget is not None:
+                    # Charge before analysis so a tripped budget skips the
+                    # (possibly large) learning work for this conflict.
+                    budget.charge_conflict()
+                    reason = budget.exceeded()
+                    if reason is not None:
+                        self.interrupt_reason = reason
+                        return SatResult.UNKNOWN
                 learnt, bt_level = self._analyze(confl)
                 self.num_learned += 1
+                if budget is not None:
+                    budget.charge_learned()
                 # Never backtrack past still-valid assumption decisions:
                 # re-deciding them is handled below, so plain backjump works.
                 self._cancel_until(bt_level)
@@ -588,10 +621,17 @@ class SatSolver:
                 self._cla_inc *= self._cla_decay
                 continue
 
-            if conflicts >= budget:
+            if conflicts >= restart_limit:
                 return None  # restart
             if self.max_conflicts is not None and conflicts >= self.max_conflicts:
                 return None
+            if budget is not None:
+                # Decision-loop checkpoint: catches deadline expiry and
+                # cancellation on propagation-heavy runs with few conflicts.
+                reason = budget.exceeded()
+                if reason is not None:
+                    self.interrupt_reason = reason
+                    return SatResult.UNKNOWN
             if len(self._learnts) >= max_learnts + len(self._trail):
                 self._reduce_db()
 

@@ -199,6 +199,13 @@ def _flatten(entries) -> List[Tuple[T.Term, object]]:
             guard = bool_term(guard)
         if guard is T.FALSE:
             continue
+        if guard is T.TRUE:
+            # The guards are pairwise disjoint (merge_many's precondition),
+            # so a TRUE guard makes every other entry infeasible: the merge
+            # result is exactly this entry's value, with no ite or union.
+            if isinstance(value, Union):
+                return _flatten(value.entries)
+            return [(guard, value)]
         if isinstance(value, Union):
             for inner_guard, inner_value in value.entries:
                 combined = T.mk_and(guard, inner_guard)

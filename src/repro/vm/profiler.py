@@ -21,6 +21,7 @@ stack walk per event, so keep it out of production runs.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -35,11 +36,21 @@ class SiteStats:
     joins: int = 0
     unions: int = 0
     union_cardinality: int = 0
+    # Solver effort attributed to this site (checks issued while the site
+    # was the innermost non-internal frame).
+    checks: int = 0
+    conflicts: int = 0
+    solver_seconds: float = 0.0
+    budget_trips: int = 0
 
     def merged_with(self, other: "SiteStats") -> "SiteStats":
         return SiteStats(self.joins + other.joins,
                          self.unions + other.unions,
-                         self.union_cardinality + other.union_cardinality)
+                         self.union_cardinality + other.union_cardinality,
+                         self.checks + other.checks,
+                         self.conflicts + other.conflicts,
+                         self.solver_seconds + other.solver_seconds,
+                         self.budget_trips + other.budget_trips)
 
 
 def _caller_site(skip_prefixes: Tuple[str, ...]) -> str:
@@ -56,7 +67,8 @@ def _caller_site(skip_prefixes: Tuple[str, ...]) -> str:
 
 _INTERNAL = ("repro/vm/context.py", "repro/vm/builtins.py",
              "repro/sym/merge.py", "repro/sym/values.py",
-             "repro/vm/profiler.py")
+             "repro/vm/profiler.py", "repro/smt/solver.py",
+             "repro/queries/queries.py", "repro/queries/debug.py")
 
 
 class SymbolicProfiler:
@@ -114,9 +126,32 @@ class SymbolicProfiler:
 
         UNION_COUNTERS.record = profiled_record
 
+        # Imported lazily: the profiler lives in the VM layer, which the
+        # SMT layer must stay importable without.
+        from repro.smt.solver import SmtSolver
+
+        original_check = SmtSolver.check
+        SymbolicProfiler._saved_check = original_check
+
+        def profiled_check(solver_self, assumptions=()):
+            started = time.perf_counter()
+            try:
+                return original_check(solver_self, assumptions)
+            finally:
+                elapsed = time.perf_counter() - started
+                delta = solver_self.last_check
+                site = _caller_site(_INTERNAL)
+                for profiler in SymbolicProfiler._active:
+                    profiler._record_check(site, delta, elapsed)
+
+        SmtSolver.check = profiled_check
+
     def _uninstall(self) -> None:
+        from repro.smt.solver import SmtSolver
+
         context.VM.guarded = SymbolicProfiler._saved_guarded
         UNION_COUNTERS.record = SymbolicProfiler._saved_record
+        SmtSolver.check = SymbolicProfiler._saved_check
 
     # ------------------------------------------------------------------
 
@@ -135,17 +170,28 @@ class SymbolicProfiler:
         stats.unions += 1
         stats.union_cardinality += size
 
+    def _record_check(self, site: str, delta, elapsed: float) -> None:
+        stats = self._site(site)
+        stats.checks += 1
+        stats.conflicts += getattr(delta, "conflicts", 0)
+        stats.budget_trips += getattr(delta, "tripped", 0)
+        stats.solver_seconds += elapsed
+
     # ------------------------------------------------------------------
 
     def top_sites(self, limit: int = 10) -> List[Tuple[str, SiteStats]]:
         ranked = sorted(self.sites.items(),
-                        key=lambda kv: (kv[1].joins + kv[1].unions),
+                        key=lambda kv: (kv[1].joins + kv[1].unions
+                                        + kv[1].checks),
                         reverse=True)
         return ranked[:limit]
 
     def report(self, limit: int = 10) -> str:
-        lines = [f"{'site':50s} {'joins':>7s} {'unions':>7s} {'card':>7s}"]
+        lines = [f"{'site':50s} {'joins':>7s} {'unions':>7s} {'card':>7s} "
+                 f"{'checks':>7s} {'confl':>7s} {'sol_sec':>8s} {'trips':>6s}"]
         for site, stats in self.top_sites(limit):
             lines.append(f"{site[:50]:50s} {stats.joins:7d} "
-                         f"{stats.unions:7d} {stats.union_cardinality:7d}")
+                         f"{stats.unions:7d} {stats.union_cardinality:7d} "
+                         f"{stats.checks:7d} {stats.conflicts:7d} "
+                         f"{stats.solver_seconds:8.3f} {stats.budget_trips:6d}")
         return "\n".join(lines)

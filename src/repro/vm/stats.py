@@ -42,6 +42,7 @@ class EvalStats:
     solver_learned: int = 0
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
+    budget_trips: int = 0
     _union_base: tuple = field(default=(0, 0), repr=False)
     _start: float = field(default=0.0, repr=False)
 
@@ -74,6 +75,9 @@ class EvalStats:
         self.solver_learned += check.learned
         self.encode_cache_hits += check.encode_hits
         self.encode_cache_misses += check.encode_misses
+        # `tripped` arrived with resource budgets; older CheckStats-shaped
+        # objects may not carry it.
+        self.budget_trips += getattr(check, "tripped", 0)
 
     def row(self) -> dict:
         """A Table 4-shaped row."""
@@ -96,4 +100,5 @@ class EvalStats:
             "learned": self.solver_learned,
             "encode_hits": self.encode_cache_hits,
             "encode_misses": self.encode_cache_misses,
+            "budget_trips": self.budget_trips,
         }

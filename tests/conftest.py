@@ -3,19 +3,33 @@
 import pytest
 
 from repro.sym.fresh import reset_fresh_names
-from repro.sym.values import UNION_COUNTERS
+from repro.sym.values import (
+    UNION_COUNTERS,
+    default_int_width,
+    set_default_int_width,
+)
 
 
 @pytest.fixture(autouse=True)
 def _isolate_symbolic_state():
-    """Reset name streams and union counters around every test.
+    """Reset name streams, union counters, and the default int width
+    around every test.
+
+    The width restore matters: the example scripts run by
+    test_examples.py call ``set_default_int_width`` as part of their
+    demo, and without the restore the narrowed width leaked into every
+    later test — the vm differential tests assume the 32-bit default
+    (their Python-int reference semantics only match when nothing
+    overflows) and failed flakily at 8 bits.
 
     The term intern table is deliberately left alone: terms are immutable
     and interning is semantics-free, so sharing it across tests only saves
     memory.
     """
+    width = default_int_width()
     reset_fresh_names()
     UNION_COUNTERS.reset()
     yield
+    set_default_int_width(width)
     reset_fresh_names()
     UNION_COUNTERS.reset()

@@ -1,0 +1,58 @@
+"""Intern-table lifecycle: weak-value interning across query boundaries.
+
+The regression here: `reset_terms()` used to *clear* the table, so a term
+held across the reset and a structurally equal term built afterwards were
+distinct objects — breaking the identity-based equality every layer above
+relies on. Interning is weak now: live terms are never evicted, dead
+terms leave the table on their own.
+"""
+
+import gc
+
+from repro.smt import terms as T
+
+
+def build(x):
+    return T.mk_eq(T.mk_add(x, T.bv_const(1, 8)), T.bv_const(5, 8))
+
+
+class TestWeakInterning:
+    def test_identity_survives_reset(self):
+        x = T.bv_var("life_x", 8)
+        before = build(x)
+        T.reset_terms()
+        after = build(x)
+        assert after is before
+
+    def test_identity_across_query_boundaries(self):
+        """Two independent 'queries' building the same formula share it."""
+        first = build(T.bv_var("life_q", 8))
+        T.reset_terms()  # what a query runner might do between queries
+        second = build(T.bv_var("life_q", 8))
+        assert second is first
+
+    def test_true_false_singletons_survive(self):
+        T.reset_terms()
+        gc.collect()
+        assert T.bool_const(True) is T.TRUE
+        assert T.bool_const(False) is T.FALSE
+
+    def test_dead_terms_are_reclaimed(self):
+        base = T.num_interned_terms()
+        x = T.bv_var("reclaim_x", 8)
+        terms = [T.mk_add(x, T.bv_const(n, 8)) for n in range(2, 60)]
+        assert T.num_interned_terms() >= base + len(terms)
+        del terms
+        gc.collect()
+        # The adds (and the constants they solely referenced) are gone;
+        # `x` itself is still live and must still be interned.
+        assert T.num_interned_terms() < base + 58
+        assert T.bv_var("reclaim_x", 8) is x
+
+    def test_live_subterms_keep_identity_after_parent_dies(self):
+        x = T.bv_var("sub_x", 8)
+        inner = T.mk_add(x, T.bv_const(1, 8))
+        outer = T.mk_eq(inner, T.bv_const(9, 8))
+        del outer
+        gc.collect()
+        assert T.mk_add(x, T.bv_const(1, 8)) is inner

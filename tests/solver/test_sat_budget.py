@@ -1,0 +1,193 @@
+"""Budget / cancellation unit tests and SAT-solver integration."""
+
+import pytest
+
+from repro.solver.budget import (
+    Budget,
+    BudgetExhausted,
+    CancellationToken,
+    REASON_CANCELLED,
+    REASON_CONFLICTS,
+    REASON_DEADLINE,
+    REASON_LEARNED,
+    REASON_PROPAGATIONS,
+)
+from repro.solver.sat import SatResult, SatSolver
+
+
+def pigeonhole(solver, pigeons, holes):
+    """Encode the classic UNSAT pigeonhole instance; returns nothing."""
+    var = {(p, h): solver.new_var()
+           for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        solver.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+
+
+class TestBudget:
+    def test_no_limits_never_trips(self):
+        budget = Budget().start()
+        budget.charge_conflict()
+        budget.charge_propagations(10_000)
+        budget.charge_learned()
+        assert budget.exceeded() is None
+
+    def test_conflict_cap_allows_exactly_n(self):
+        budget = Budget(conflicts=2)
+        budget.charge_conflict()
+        budget.charge_conflict()
+        assert budget.exceeded() is None
+        budget.charge_conflict()
+        assert budget.exceeded() == REASON_CONFLICTS
+
+    def test_zero_conflicts_trips_at_first(self):
+        budget = Budget(conflicts=0)
+        assert budget.exceeded() is None
+        budget.charge_conflict()
+        assert budget.exceeded() == REASON_CONFLICTS
+
+    def test_propagation_cap(self):
+        budget = Budget(propagations=5)
+        budget.charge_propagations(5)
+        assert budget.exceeded() is None
+        budget.charge_propagations(1)
+        assert budget.exceeded() == REASON_PROPAGATIONS
+
+    def test_learned_cap(self):
+        budget = Budget(learned=0)
+        budget.charge_learned()
+        assert budget.exceeded() == REASON_LEARNED
+
+    def test_deadline(self):
+        budget = Budget(ms=0).start()
+        assert budget.exceeded() == REASON_DEADLINE
+
+    def test_deadline_not_running_until_started(self):
+        budget = Budget(ms=0)
+        assert budget.exceeded() is None  # clock has not started
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        budget = Budget(token=token)
+        assert budget.exceeded() is None
+        token.cancel()
+        assert budget.exceeded() == REASON_CANCELLED
+
+    def test_charges_cascade_to_parent(self):
+        total = Budget(conflicts=3)
+        child = total.child(conflicts=10)
+        for _ in range(4):
+            child.charge_conflict()
+        assert total.spent_conflicts == 4
+        # The child itself is within its own cap, but the chain is not.
+        assert child.exceeded() == REASON_CONFLICTS
+
+    def test_child_trips_before_parent(self):
+        total = Budget(conflicts=100)
+        child = total.child(conflicts=0)
+        child.charge_conflict()
+        assert child.exceeded() == REASON_CONFLICTS
+        assert total.exceeded() is None
+
+    def test_child_shares_token(self):
+        token = CancellationToken()
+        total = Budget(token=token)
+        child = total.child(conflicts=5)
+        token.cancel()
+        assert child.exceeded() == REASON_CANCELLED
+
+    def test_start_is_idempotent(self):
+        budget = Budget(ms=10_000)
+        budget.start()
+        t0 = budget._t0
+        budget.start()
+        assert budget._t0 == t0
+
+    def test_report_carries_spend_and_limits(self):
+        budget = Budget(conflicts=1, ms=5_000).start()
+        budget.charge_conflict()
+        budget.charge_conflict()
+        report = budget.report(REASON_CONFLICTS, phase="search")
+        assert report.reason == REASON_CONFLICTS
+        assert report.phase == "search"
+        assert report.conflicts == 2
+        assert report.limits == {"ms": 5_000, "conflicts": 1}
+        row = report.row()
+        assert row["reason"] == REASON_CONFLICTS
+        assert row["conflicts"] == 2
+
+    def test_nested_limits_in_report(self):
+        total = Budget(conflicts=9)
+        child = total.child(conflicts=1)
+        assert child.limits() == {"conflicts": 1,
+                                  "parent": {"conflicts": 9}}
+
+    def test_exhausted_exception_carries_report(self):
+        report = Budget(conflicts=0).report(REASON_CONFLICTS, phase="encode")
+        error = BudgetExhausted(report)
+        assert error.report is report
+        assert "conflicts" in str(error)
+
+
+class TestSatSolverBudget:
+    def test_conflict_budget_returns_unknown(self):
+        solver = SatSolver()
+        pigeonhole(solver, 4, 3)
+        solver.budget = Budget(conflicts=0)
+        assert solver.solve() is SatResult.UNKNOWN
+        assert solver.interrupt_reason == REASON_CONFLICTS
+
+    def test_unbudgeted_answer_unchanged(self):
+        solver = SatSolver()
+        pigeonhole(solver, 4, 3)
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_solver_reusable_after_trip(self):
+        solver = SatSolver()
+        pigeonhole(solver, 4, 3)
+        solver.budget = Budget(conflicts=0)
+        assert solver.solve() is SatResult.UNKNOWN
+        solver.budget = None
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.interrupt_reason is None
+
+    def test_learned_state_survives_trip(self):
+        """A trip mid-search keeps the clauses learned so far."""
+        solver = SatSolver()
+        pigeonhole(solver, 5, 4)
+        solver.budget = Budget(conflicts=3)
+        assert solver.solve() is SatResult.UNKNOWN
+        learned_after_trip = solver.num_learned
+        assert learned_after_trip >= 1
+        solver.budget = None
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_pre_cancelled_token_skips_search(self):
+        token = CancellationToken()
+        token.cancel()
+        solver = SatSolver()
+        x = solver.new_var()
+        solver.add_clause([x])
+        solver.budget = Budget(token=token)
+        assert solver.solve() is SatResult.UNKNOWN
+        assert solver.interrupt_reason == REASON_CANCELLED
+        assert solver.num_conflicts == 0
+
+    def test_easy_instance_within_budget_still_sat(self):
+        solver = SatSolver()
+        variables = [solver.new_var() for _ in range(5)]
+        for a, b in zip(variables, variables[1:]):
+            solver.add_clause([-a, b])
+        solver.add_clause([variables[0]])
+        solver.budget = Budget(conflicts=1_000)
+        assert solver.solve() is SatResult.SAT
+
+    def test_deadline_trips_search(self):
+        solver = SatSolver()
+        pigeonhole(solver, 6, 5)
+        solver.budget = Budget(ms=0)
+        assert solver.solve() is SatResult.UNKNOWN
+        assert solver.interrupt_reason == REASON_DEADLINE

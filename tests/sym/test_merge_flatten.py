@@ -1,0 +1,48 @@
+"""Regression tests for merge flattening with a TRUE guard.
+
+merge_many's precondition is pairwise-disjoint guards, so a TRUE guard
+makes every other entry infeasible. The old `_flatten` kept the infeasible
+entries anyway, so the merge produced an ite (or a union) whose dead
+branches inflated every downstream formula.
+"""
+
+from repro.smt import terms as T
+from repro.sym.merge import merge_many
+from repro.sym.values import SymInt, Union, wrap_int
+
+
+class TestTrueGuardShortCircuit:
+    def test_true_guard_returns_lone_value(self):
+        b = T.bool_var("fg_b")
+        assert merge_many([(b, 1), (T.TRUE, 2)]) == 2
+        assert merge_many([(T.TRUE, 1), (b, 2)]) == 1
+
+    def test_no_ite_is_built(self):
+        b = T.bool_var("fg_c")
+        x = wrap_int(T.bv_var("fg_x", 8))
+        result = merge_many([(b, x), (T.TRUE, 3)])
+        # A concrete int, not a SymInt wrapping ite(b, x, 3).
+        assert result == 3
+        assert not isinstance(result, SymInt)
+
+    def test_no_union_is_built_across_classes(self):
+        b = T.bool_var("fg_d")
+        result = merge_many([(b, (1, 2)), (T.TRUE, 7)])
+        assert result == 7
+        assert not isinstance(result, Union)
+
+    def test_true_guarded_union_is_flattened(self):
+        b = T.bool_var("fg_e")
+        c = T.bool_var("fg_f")
+        inner = Union([(c, 1), (T.mk_not(c), (2, 3))])
+        result = merge_many([(b, 99), (T.TRUE, inner)])
+        assert isinstance(result, Union)
+        assert len(result.entries) == 2
+        # No entry is guarded by (or mentions) the dead guard b.
+        for guard, _ in result.entries:
+            assert b not in T.term_vars(guard)
+
+    def test_disjoint_symbolic_guards_still_merge(self):
+        b = T.bool_var("fg_g")
+        result = merge_many([(b, 1), (T.mk_not(b), 2)])
+        assert isinstance(result, SymInt)  # genuine ite, nothing dropped
