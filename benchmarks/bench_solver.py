@@ -27,19 +27,40 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.events import BUS
+from repro.obs.metrics import BusMetrics
 from repro.smt import terms as T
 from repro.smt.solver import SmtResult, SmtSolver
 from repro.solver.budget import Budget
 from repro.solver.sat import SatResult, SatSolver
 
 _ROWS = []
+_ACTIVE_METRICS = []
 
 
 def _record_row(name, seconds, **fields):
     row = {"name": name, "seconds": seconds}
     row.update(fields)
+    # Each row carries the observability snapshot of its test: encode-cache
+    # hit rate, conflicts/check, budget trips, restart counts, and the
+    # check-time histograms (schema documented in EXPERIMENTS.md).
+    if _ACTIVE_METRICS:
+        row["metrics"] = _ACTIVE_METRICS[-1].snapshot()
     _ROWS.append(row)
     return row
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics():
+    """Aggregate bus events into a fresh metrics registry per test."""
+    metrics = BusMetrics()
+    unsubscribe = BUS.subscribe(metrics)
+    _ACTIVE_METRICS.append(metrics)
+    try:
+        yield metrics
+    finally:
+        _ACTIVE_METRICS.pop()
+        unsubscribe()
 
 
 def _solver_fields(solver: SmtSolver) -> dict:

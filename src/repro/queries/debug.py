@@ -21,6 +21,8 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs import tracing
+from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.smt.solver import SmtResult, SmtSolver
 from repro.solver.budget import Budget
@@ -89,7 +91,8 @@ def relax(value, label):
 def debug(thunk: Callable[[], object],
           predicate: Optional[Callable[[object], bool]] = None,
           max_conflicts: Optional[int] = None,
-          budget: Optional[Budget] = None) -> QueryOutcome:
+          budget: Optional[Budget] = None,
+          trace=None) -> QueryOutcome:
     """Localize the failure of `thunk` to a minimal core of expressions.
 
     Returns a ``sat`` outcome whose ``core`` lists the labels of a minimal
@@ -100,8 +103,17 @@ def debug(thunk: Callable[[], object],
     the budget trips mid-minimization, the outcome is still ``sat`` with
     the smallest core proven so far, plus the trip's ``report`` and a
     message noting the core may not be minimal. Only an exhaustion during
-    the *initial* check yields ``unknown``.
+    the *initial* check yields ``unknown``. `trace` attaches an
+    observability sink exactly as in :func:`repro.queries.queries.solve`.
     """
+    from repro.queries.queries import _query_span
+    with tracing(trace), _query_span("query.debug") as span:
+        span.outcome = outcome = _debug(thunk, predicate, max_conflicts,
+                                        budget)
+        return outcome
+
+
+def _debug(thunk, predicate, max_conflicts, budget) -> QueryOutcome:
     if predicate is None:
         predicate = lambda value: True  # relax every primitive
     with VM() as vm, DebugSession(predicate) as session:
@@ -122,11 +134,16 @@ def debug(thunk: Callable[[], object],
             solver.add_assertion(assertion)
         selectors = [selector for _, selector in session.relaxations]
         label_of = {selector: label for label, selector in session.relaxations}
+        # Solver effort flows in through the event bus: each check emits
+        # one `smt.check` span whose end event carries the CheckStats
+        # delta, and the stats listener accumulates them — the same
+        # emission path that feeds tracers, metrics, and the profiler.
         started = time.perf_counter()
+        unsubscribe = BUS.subscribe(vm.stats.check_listener)
         try:
             result = solver.check(selectors)
         finally:
-            vm.stats.record_check(solver.last_check)
+            unsubscribe()
             vm.stats.solver_seconds += time.perf_counter() - started
         if result is SmtResult.SAT:
             return QueryOutcome("unsat", stats=vm.stats,
@@ -140,16 +157,17 @@ def debug(thunk: Callable[[], object],
             return QueryOutcome("unknown", stats=vm.stats,
                                 message=message, report=report)
         # Deletion minimization runs many checks on the same persistent
-        # solver; record their combined effort as a cumulative delta.
+        # solver; the listener stays subscribed for the whole section and
+        # sums their per-check deltas (equal to the cumulative delta).
         # minimize_core is anytime: on budget exhaustion it returns the
         # smallest core established so far and leaves the trip report in
         # solver.last_report.
         started = time.perf_counter()
-        before_minimize = solver.cumulative.copy()
+        unsubscribe = BUS.subscribe(vm.stats.check_listener)
         try:
             core = solver.minimize_core()
         finally:
-            vm.stats.record_check(solver.cumulative - before_minimize)
+            unsubscribe()
             vm.stats.solver_seconds += time.perf_counter() - started
         labels = [label_of[selector] for selector in core
                   if selector in label_of]

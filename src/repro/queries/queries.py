@@ -18,8 +18,11 @@ and solver timing.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro.obs import tracing
+from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.smt.solver import SmtResult, SmtSolver
 from repro.solver.budget import Budget
@@ -43,16 +46,45 @@ def _run(thunk: Callable[[], object], vm: VM):
 
 def _check(solver: SmtSolver, vm: VM,
            assumptions: Sequence[T.Term] = ()) -> SmtResult:
-    # try/finally: a check that raises mid-solve (cancellation delivered as
-    # an exception, KeyboardInterrupt, encoder errors) must still record
-    # its partial solver effort — SmtSolver.check refreshes `last_check`
-    # in its own finally block, so the delta here is never stale.
+    # The query's EvalStats listens on the event bus for the duration of
+    # the check: SmtSolver.check publishes one `smt.check` span whose end
+    # event carries the CheckStats delta, and that single emission path
+    # feeds the stats here, the profiler, and any subscribed trace sinks
+    # alike. try/finally: a check that raises mid-solve (cancellation
+    # delivered as an exception, KeyboardInterrupt, encoder errors) must
+    # still record its partial effort — SmtSolver.check emits the end
+    # event from its own finally block, so the delta is never stale.
     started = time.perf_counter()
+    unsubscribe = BUS.subscribe(vm.stats.check_listener)
     try:
         return solver.check(assumptions)
     finally:
+        unsubscribe()
         vm.stats.solver_seconds += time.perf_counter() - started
-        vm.stats.record_check(solver.last_check)
+
+
+@contextmanager
+def _query_span(name: str):
+    """A query-level span; set `outcome` on the yielded carrier to label
+    the end event with the query's status."""
+    traced = BUS.enabled
+    carrier = _OutcomeCarrier()
+    if traced:
+        BUS.begin(name, "query")
+    try:
+        yield carrier
+    finally:
+        if traced:
+            outcome = carrier.outcome
+            BUS.end(name, "query",
+                    status=outcome.status if outcome is not None else "error")
+
+
+class _OutcomeCarrier:
+    __slots__ = ("outcome",)
+
+    def __init__(self):
+        self.outcome: Optional[QueryOutcome] = None
 
 
 def _unknown(vm: VM, solver: SmtSolver, message: str = "") -> QueryOutcome:
@@ -66,12 +98,24 @@ def _unknown(vm: VM, solver: SmtSolver, message: str = "") -> QueryOutcome:
 
 def solve(thunk: Callable[[], object],
           max_conflicts: Optional[int] = None,
-          budget: Optional[Budget] = None) -> QueryOutcome:
+          budget: Optional[Budget] = None,
+          trace=None) -> QueryOutcome:
     """Find an interpretation under which the thunk's assertions all hold.
 
     `budget` bounds the whole query (encoding and solving); on exhaustion
     the outcome is ``unknown`` with a populated ``report``.
+
+    `trace` attaches an observability sink for the query's duration: a
+    path writes JSONL trace events there, a callable is subscribed to the
+    event bus directly, and ``None`` defers to the ``REPRO_TRACE``
+    environment variable (no-op when unset).
     """
+    with tracing(trace), _query_span("query.solve") as span:
+        span.outcome = outcome = _solve(thunk, max_conflicts, budget)
+        return outcome
+
+
+def _solve(thunk, max_conflicts, budget) -> QueryOutcome:
     with VM() as vm:
         failed, _ = _run(thunk, vm)
         if failed:
@@ -92,7 +136,8 @@ def solve(thunk: Callable[[], object],
 def verify(thunk: Callable[[], object],
            setup: Optional[Callable[[], object]] = None,
            max_conflicts: Optional[int] = None,
-           budget: Optional[Budget] = None) -> QueryOutcome:
+           budget: Optional[Budget] = None,
+           trace=None) -> QueryOutcome:
     """Find a counterexample: an interpretation violating some assertion.
 
     Assertions made by `setup` (and, in Rosette, any assertions made before
@@ -100,8 +145,14 @@ def verify(thunk: Callable[[], object],
     satisfy; assertions made by `thunk` are the verification targets. A
     `sat` outcome means the property FAILS (the model is the
     counterexample); `unsat` means the assertions hold for every input —
-    the paper's "no counterexample found".
+    the paper's "no counterexample found". `trace` is as in :func:`solve`.
     """
+    with tracing(trace), _query_span("query.verify") as span:
+        span.outcome = outcome = _verify(thunk, setup, max_conflicts, budget)
+        return outcome
+
+
+def _verify(thunk, setup, max_conflicts, budget) -> QueryOutcome:
     with VM() as vm:
         if setup is not None:
             setup_failed, _ = _run(setup, vm)
@@ -206,50 +257,63 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
     iterations = 0
     while iterations < max_iterations:
         iterations += 1
-        if iteration_budget is not None:
-            scoped = Budget(parent=budget, **iteration_budget)
-            guess_solver.set_budget(scoped)
-            check_solver.set_budget(scoped)
-        # Guess: find hole values consistent with all examples so far.
-        # Only the examples discovered since the last guess need encoding.
-        while examples_asserted < len(examples):
-            example = examples[examples_asserted]
-            examples_asserted += 1
-            bound = T.substitute(goal, {
-                var: _const_for(var, value)
-                for var, value in example.items()})
-            guess_solver.add_assertion(bound)
-        guess_result = _check(guess_solver, vm)
-        if guess_result is SmtResult.UNKNOWN:
-            return _exhausted(guess_solver, "guess")
-        if guess_result is not SmtResult.SAT:
-            return QueryOutcome(
-                "unsat", stats=vm.stats,
-                message=f"no candidate after {len(examples)} example(s)")
-        candidate = guess_solver.model(hole_terms)
-        best_candidate = candidate
-        best_examples = len(examples)
-
-        # Check: does the candidate work for every input? The candidate
-        # binding lives in a scope so the next iteration can retract it.
-        checked = T.substitute(goal, {
-            var: _const_for(var, candidate[var]) for var in hole_terms})
-        check_solver.push()
+        traced = BUS.enabled
+        if traced:
+            BUS.begin("cegis.iteration", "query",
+                      iteration=iterations, examples=len(examples))
+        iteration_outcome = "unknown"
         try:
-            check_solver.add_assertion(T.mk_not(checked))
-            check_result = _check(check_solver, vm)
-            if check_result is SmtResult.SAT:
-                counterexample = check_solver.model(list(inputs))
+            if iteration_budget is not None:
+                scoped = Budget(parent=budget, **iteration_budget)
+                guess_solver.set_budget(scoped)
+                check_solver.set_budget(scoped)
+            # Guess: find hole values consistent with all examples so far.
+            # Only examples discovered since the last guess need encoding.
+            while examples_asserted < len(examples):
+                example = examples[examples_asserted]
+                examples_asserted += 1
+                bound = T.substitute(goal, {
+                    var: _const_for(var, value)
+                    for var, value in example.items()})
+                guess_solver.add_assertion(bound)
+            guess_result = _check(guess_solver, vm)
+            if guess_result is SmtResult.UNKNOWN:
+                return _exhausted(guess_solver, "guess")
+            if guess_result is not SmtResult.SAT:
+                iteration_outcome = "no-candidate"
+                return QueryOutcome(
+                    "unsat", stats=vm.stats,
+                    message=f"no candidate after {len(examples)} example(s)")
+            candidate = guess_solver.model(hole_terms)
+            best_candidate = candidate
+            best_examples = len(examples)
+
+            # Check: does the candidate work for every input? The candidate
+            # binding lives in a scope so the next iteration can retract it.
+            checked = T.substitute(goal, {
+                var: _const_for(var, candidate[var]) for var in hole_terms})
+            check_solver.push()
+            try:
+                check_solver.add_assertion(T.mk_not(checked))
+                check_result = _check(check_solver, vm)
+                if check_result is SmtResult.SAT:
+                    counterexample = check_solver.model(list(inputs))
+            finally:
+                check_solver.pop()
+            if check_result is SmtResult.UNKNOWN:
+                return _exhausted(check_solver, "check")
+            if check_result is not SmtResult.SAT:
+                iteration_outcome = "converged"
+                outcome = QueryOutcome("sat", model=Model(candidate),
+                                       stats=vm.stats)
+                outcome.message = \
+                    f"cegis converged in {iterations} iteration(s)"
+                return outcome
+            iteration_outcome = "counterexample"
+            examples.append({var: counterexample[var] for var in inputs})
         finally:
-            check_solver.pop()
-        if check_result is SmtResult.UNKNOWN:
-            return _exhausted(check_solver, "check")
-        if check_result is not SmtResult.SAT:
-            outcome = QueryOutcome("sat", model=Model(candidate),
-                                   stats=vm.stats)
-            outcome.message = f"cegis converged in {iterations} iteration(s)"
-            return outcome
-        examples.append({var: counterexample[var] for var in inputs})
+            if traced:
+                BUS.end("cegis.iteration", "query", outcome=iteration_outcome)
     outcome = QueryOutcome(
         "unknown", stats=vm.stats,
         message=f"cegis hit the {max_iterations}-iteration cap")
@@ -263,15 +327,26 @@ def synthesize(inputs: Sequence, thunk: Callable[[], object],
                max_iterations: int = 64,
                max_conflicts: Optional[int] = None,
                budget: Optional[Budget] = None,
-               iteration_budget: Optional[dict] = None) -> QueryOutcome:
+               iteration_budget: Optional[dict] = None,
+               trace=None) -> QueryOutcome:
     """CEGIS synthesis: make the assertions hold for *all* `inputs`.
 
     `inputs` are the universally quantified symbolic constants (the paper's
     ``(synthesize [input] expr)`` form); every other symbolic constant in
     the assertions is an existentially quantified hole. Assertions made by
     `setup` are input preconditions: the goal is ∀inputs. pre ⇒ post.
-    See :func:`cegis` for the `budget`/`iteration_budget` semantics.
+    See :func:`cegis` for the `budget`/`iteration_budget` semantics and
+    :func:`solve` for `trace`.
     """
+    with tracing(trace), _query_span("query.synthesize") as span:
+        span.outcome = outcome = _synthesize(
+            inputs, thunk, setup, max_iterations, max_conflicts, budget,
+            iteration_budget)
+        return outcome
+
+
+def _synthesize(inputs, thunk, setup, max_iterations, max_conflicts,
+                budget, iteration_budget) -> QueryOutcome:
     with VM() as vm:
         if setup is not None:
             setup_failed, _ = _run(setup, vm)

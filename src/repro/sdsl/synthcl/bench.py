@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import tracing
 from repro.queries import Budget, QueryOutcome, synthesize, verify
 from repro.sym import fresh_int, ops
 from repro.sym.values import SymInt
@@ -237,14 +238,22 @@ _register("FWT2s", "synthesize", [2],
 
 
 def run_benchmark(name: str, bounds=None,
-                  budget: Optional[Budget] = None) -> QueryOutcome:
+                  budget: Optional[Budget] = None,
+                  trace=None) -> QueryOutcome:
     """Run one Table 1 benchmark; returns its QueryOutcome with stats.
 
     `budget` caps the whole benchmark: verification sweeps share it across
     every bound in the sweep (and stop at the first unknown), and synthesis
     benchmarks hand it to CEGIS. On exhaustion the outcome is ``unknown``
     with a :class:`~repro.queries.ResourceReport`.
+
+    `trace` attaches an observability sink (a JSONL path or a callable)
+    for the whole benchmark: the sink is subscribed here, at driver level,
+    so a verification sweep's many queries land in one trace instead of
+    each query reopening (and truncating) the file.
     """
     benchmark = SYNTHCL_BENCHMARKS[name]
-    return benchmark.run(bounds if bounds is not None else benchmark.bounds,
-                         budget=budget)
+    with tracing(trace):
+        return benchmark.run(
+            bounds if bounds is not None else benchmark.bounds,
+            budget=budget)

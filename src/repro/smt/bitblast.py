@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.solver.budget import Budget, BudgetExhausted
 from repro.solver.sat import SatSolver
@@ -65,6 +66,9 @@ class BitBlaster:
         budget.start()
         reason = budget.exceeded()
         if reason is not None:
+            if BUS.enabled:
+                BUS.instant("sat.budget_trip", "sat", reason=reason,
+                            phase="encode")
             raise BudgetExhausted(budget.report(reason, phase="encode"))
 
     # ------------------------------------------------------------------
@@ -479,10 +483,31 @@ class BitBlaster:
         gate definitions stay unguarded — they are globally valid
         definitions of auxiliary variables, so they can be shared by later
         scopes.
+
+        While tracing, each top-level assertion is an ``smt.encode`` span
+        whose end event carries the encode-cache disposition: how many
+        subterm lookups hit the memo tables, how many were translated to
+        fresh gates, and whether the whole assertion was already cached
+        (``cached`` — zero misses).
         """
+        bus = BUS
+        if not bus.enabled:
+            return self._assert_term(term, guard)
+        hits_before = self.cache_hits
+        misses_before = self.cache_misses
+        bus.begin("smt.encode", "smt")
+        try:
+            return self._assert_term(term, guard)
+        finally:
+            misses = self.cache_misses - misses_before
+            bus.end("smt.encode", "smt",
+                    hits=self.cache_hits - hits_before,
+                    misses=misses, cached=misses == 0)
+
+    def _assert_term(self, term: T.Term, guard: Optional[int]) -> None:
         if term.op == T.OP_AND:
             for arg in term.args:
-                self.assert_term(arg, guard)
+                self._assert_term(arg, guard)
             return
         extra = [] if guard is None else [guard]
         if term.op == T.OP_OR:
@@ -491,7 +516,7 @@ class BitBlaster:
             return
         if term.op == T.OP_NOT and term.args[0].op == T.OP_OR:
             for arg in term.args[0].args:
-                self.assert_term(T.mk_not(arg), guard)
+                self._assert_term(T.mk_not(arg), guard)
             return
         self.sat.add_clause([self.lit_of(term)] + extra)
 

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import time
 
+from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.smt.bitblast import BitBlaster
 from repro.solver.budget import Budget, BudgetExhausted, ResourceReport
@@ -279,7 +280,7 @@ class SmtSolver:
                           blaster.cache_hits, blaster.cache_misses)
 
     def _record_check(self, seconds: float = 0.0,
-                      tripped: bool = False) -> None:
+                      tripped: bool = False) -> CheckStats:
         now = self._stats_mark()
         delta = now - self._mark
         delta.checks = 1
@@ -288,6 +289,7 @@ class SmtSolver:
         self._mark = now
         self.last_check = delta
         self.cumulative += delta
+        return delta
 
     def _finish(self, result: SmtResult,
                 core: Sequence[T.Term] = ()) -> SmtResult:
@@ -313,9 +315,16 @@ class SmtSolver:
         mid-solve (cancellation via exception, interrupts, encoder bugs).
         """
         self._last_core = []
+        self._last_result = None   # a check that raises reports "error"
         self.last_report = None
         started = time.perf_counter()
         tripped = False
+        # `traced` is latched at entry so the begin/end pair stays balanced
+        # even if a sink subscribes or detaches mid-check.
+        traced = BUS.enabled
+        if traced:
+            BUS.begin("smt.check", "smt", assumptions=len(assumptions),
+                      scopes=len(self._scopes))
         try:
             # A budget trip during encoding means the SAT instance holds
             # only part of the formula: UNKNOWN is the only sound answer.
@@ -361,7 +370,20 @@ class SmtSolver:
                     if lit in lit_to_term]
             return self._finish(SmtResult.UNSAT, core)
         finally:
-            self._record_check(time.perf_counter() - started, tripped)
+            delta = self._record_check(time.perf_counter() - started, tripped)
+            if traced:
+                result = self._last_result
+                BUS.end("smt.check", "smt",
+                        result=result.value if result is not None else "error",
+                        checks=delta.checks,
+                        conflicts=delta.conflicts,
+                        decisions=delta.decisions,
+                        propagations=delta.propagations,
+                        learned=delta.learned,
+                        encode_hits=delta.encode_hits,
+                        encode_misses=delta.encode_misses,
+                        seconds=delta.seconds,
+                        tripped=delta.tripped)
 
     def _search_report(self, started: float) -> ResourceReport:
         """Describe a search-phase UNKNOWN (budget trip or conflict cap)."""

@@ -17,7 +17,12 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.events import BUS
 from repro.solver.budget import Budget
+
+# Cadence of `sat.conflicts` milestone events while tracing: one instant
+# every _CONFLICT_MILESTONE conflicts (power of two — the check is a mask).
+_CONFLICT_MILESTONE = 1024
 
 
 class SatResult(enum.Enum):
@@ -547,6 +552,22 @@ class SatSolver:
         legacy :attr:`max_conflicts` cap is reached; :attr:`interrupt_reason`
         records which budget limit was responsible.
         """
+        bus = BUS
+        if not bus.enabled:
+            return self._solve(assumptions)
+        bus.begin("sat.solve", "sat", assumptions=len(assumptions))
+        conflicts_before = self.num_conflicts
+        result = None
+        try:
+            result = self._solve(assumptions)
+            return result
+        finally:
+            bus.end("sat.solve", "sat",
+                    result=result.value if result is not None else "error",
+                    conflicts=self.num_conflicts - conflicts_before,
+                    reason=self.interrupt_reason)
+
+    def _solve(self, assumptions: Sequence[int]) -> SatResult:
         self._model = None
         self._conflict_core = []
         self.interrupt_reason = None
@@ -557,6 +578,9 @@ class SatSolver:
             reason = self.budget.exceeded()
             if reason is not None:
                 self.interrupt_reason = reason
+                if BUS.enabled:
+                    BUS.instant("sat.budget_trip", "sat", reason=reason,
+                                phase="search")
                 return SatResult.UNKNOWN
         self._ensure_vars(assumptions)
         internal_assumptions = [self._to_internal(lit) for lit in assumptions]
@@ -568,6 +592,11 @@ class SatSolver:
         while True:
             restart_index += 1
             restart_limit = 100 * _luby(restart_index)
+            if restart_index > 1 and BUS.enabled:
+                BUS.instant("sat.restart", "sat",
+                            restarts=restart_index - 1,
+                            conflicts=self.num_conflicts - conflicts_at_start,
+                            limit=restart_limit)
             status = self._search(internal_assumptions, restart_limit,
                                   max_learnts)
             if status is not None:
@@ -589,6 +618,11 @@ class SatSolver:
             if confl is not None:
                 self.num_conflicts += 1
                 conflicts += 1
+                if BUS.enabled and \
+                        self.num_conflicts % _CONFLICT_MILESTONE == 0:
+                    BUS.instant("sat.conflicts", "sat",
+                                conflicts=self.num_conflicts,
+                                learned=self.num_learned)
                 if self._decision_level() == 0:
                     self._ok = False
                     return SatResult.UNSAT
@@ -599,6 +633,9 @@ class SatSolver:
                     reason = budget.exceeded()
                     if reason is not None:
                         self.interrupt_reason = reason
+                        if BUS.enabled:
+                            BUS.instant("sat.budget_trip", "sat",
+                                        reason=reason, phase="search")
                         return SatResult.UNKNOWN
                 learnt, bt_level = self._analyze(confl)
                 self.num_learned += 1
@@ -631,6 +668,9 @@ class SatSolver:
                 reason = budget.exceeded()
                 if reason is not None:
                     self.interrupt_reason = reason
+                    if BUS.enabled:
+                        BUS.instant("sat.budget_trip", "sat",
+                                    reason=reason, phase="search")
                     return SatResult.UNKNOWN
             if len(self._learnts) >= max_learnts + len(self._trail):
                 self._reduce_db()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Tuple
 
+from repro.obs.events import BUS
 from repro.smt import terms as T
 
 _DEFAULT_INT_WIDTH = 32
@@ -269,6 +270,11 @@ class UnionCounters:
         self.cardinality_sum += size
         if size > self.max_cardinality:
             self.max_cardinality = size
+        # The single chokepoint for union construction: every Union that
+        # exists passed through here, so this is where the bus learns of
+        # them (the profiler attributes the event to a host call site).
+        if BUS.enabled:
+            BUS.instant("vm.union", "vm", cardinality=size)
 
 
 UNION_COUNTERS = UnionCounters()

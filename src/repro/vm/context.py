@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.sym import ops
 from repro.sym.merge import merge_many
@@ -164,6 +165,8 @@ class VM:
         # A genuine control-flow join.
         if count_join:
             self.stats.joins += 1
+            if BUS.enabled:
+                BUS.instant("vm.join", "vm", cardinality=len(feasible))
         results: List[Tuple[T.Term, object]] = []
         write_sets: List[Tuple[T.Term, Dict[Tuple[int, object], object]]] = []
         pre_values: Dict[Tuple[int, object], Tuple[object, object, object]] = {}
@@ -196,6 +199,8 @@ class VM:
         if not results:
             raise AssertionFailure(failure_message)
         # Merge heap effects location by location.
+        if pre_values and BUS.enabled:
+            BUS.instant("vm.merge", "vm", locations=len(pre_values))
         for loc, (container, key, pre) in pre_values.items():
             entries: List[Tuple[T.Term, object]] = []
             covered = []

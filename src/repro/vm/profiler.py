@@ -13,20 +13,23 @@ Usage::
         outcome = solve(program)
     print(profiler.report())
 
-The profiler samples the Python call stack at every control-flow join and
-at every union construction, and aggregates by function. Overhead is a
-stack walk per event, so keep it out of production runs.
+The profiler is an :data:`repro.obs.events.BUS` subscriber: the VM, the
+union constructor, and the SMT facade publish ``vm.join``/``vm.union``/
+``smt.check`` events from first-class hook points, and because delivery
+is synchronous the profiler can sample the Python call stack at the
+moment each event fires and aggregate by the innermost host-program
+frame. No methods are patched, so any number of profilers can be active
+at once, nested or interleaved, and exiting one never disturbs another.
+Overhead is a stack walk per event, so keep it out of production runs.
 """
 
 from __future__ import annotations
 
 import sys
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sym.values import UNION_COUNTERS
-from repro.vm import context
+from repro.obs.events import BUS, END, Event, INSTANT
 
 
 @dataclass
@@ -55,7 +58,7 @@ class SiteStats:
 
 def _caller_site(skip_prefixes: Tuple[str, ...]) -> str:
     """The innermost stack frame outside the SVM's own machinery."""
-    frame = sys._getframe(2)
+    frame = sys._getframe(1)
     while frame is not None:
         filename = frame.f_code.co_filename
         if not any(marker in filename for marker in skip_prefixes):
@@ -68,90 +71,44 @@ def _caller_site(skip_prefixes: Tuple[str, ...]) -> str:
 _INTERNAL = ("repro/vm/context.py", "repro/vm/builtins.py",
              "repro/sym/merge.py", "repro/sym/values.py",
              "repro/vm/profiler.py", "repro/smt/solver.py",
+             "repro/smt/bitblast.py", "repro/solver/sat.py",
+             "repro/obs/", "repro/vm/stats.py",
              "repro/queries/queries.py", "repro/queries/debug.py")
 
 
 class SymbolicProfiler:
-    """Collects per-site join/union statistics while active."""
-
-    _active: List["SymbolicProfiler"] = []
+    """Collects per-site join/union/solver statistics while subscribed."""
 
     def __init__(self):
         self.sites: Dict[str, SiteStats] = {}
-        self._original_guarded = None
-        self._original_record = None
+        self._unsubscribe: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
 
     def __enter__(self) -> "SymbolicProfiler":
-        SymbolicProfiler._active.append(self)
-        if len(SymbolicProfiler._active) == 1:
-            self._install()
+        if self._unsubscribe is None:
+            self._unsubscribe = BUS.subscribe(self._on_event)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        popped = SymbolicProfiler._active.pop()
-        assert popped is self
-        if not SymbolicProfiler._active:
-            self._uninstall()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
 
-    def _install(self) -> None:
-        vm_class = context.VM
-        original_guarded = vm_class.guarded
-        SymbolicProfiler._saved_guarded = original_guarded
-
-        def profiled_guarded(vm_self, alternatives, assert_coverage=False,
-                             failure_message="all guarded paths failed",
-                             count_join=True):
-            joins_before = vm_self.stats.joins
-            result = original_guarded(
-                vm_self, alternatives, assert_coverage=assert_coverage,
-                failure_message=failure_message, count_join=count_join)
-            if vm_self.stats.joins > joins_before:
-                site = _caller_site(_INTERNAL)
-                for profiler in SymbolicProfiler._active:
-                    profiler._record_join(site)
-            return result
-
-        vm_class.guarded = profiled_guarded
-
-        original_record = UNION_COUNTERS.record
-        SymbolicProfiler._saved_record = original_record
-
-        def profiled_record(size: int) -> None:
-            original_record(size)
-            site = _caller_site(_INTERNAL)
-            for profiler in SymbolicProfiler._active:
-                profiler._record_union(site, size)
-
-        UNION_COUNTERS.record = profiled_record
-
-        # Imported lazily: the profiler lives in the VM layer, which the
-        # SMT layer must stay importable without.
-        from repro.smt.solver import SmtSolver
-
-        original_check = SmtSolver.check
-        SymbolicProfiler._saved_check = original_check
-
-        def profiled_check(solver_self, assumptions=()):
-            started = time.perf_counter()
-            try:
-                return original_check(solver_self, assumptions)
-            finally:
-                elapsed = time.perf_counter() - started
-                delta = solver_self.last_check
-                site = _caller_site(_INTERNAL)
-                for profiler in SymbolicProfiler._active:
-                    profiler._record_check(site, delta, elapsed)
-
-        SmtSolver.check = profiled_check
-
-    def _uninstall(self) -> None:
-        from repro.smt.solver import SmtSolver
-
-        context.VM.guarded = SymbolicProfiler._saved_guarded
-        UNION_COUNTERS.record = SymbolicProfiler._saved_record
-        SmtSolver.check = SymbolicProfiler._saved_check
+    def _on_event(self, event: Event) -> None:
+        if event.name == "vm.join" and event.ph == INSTANT:
+            self._site(_caller_site(_INTERNAL)).joins += 1
+        elif event.name == "vm.union" and event.ph == INSTANT:
+            stats = self._site(_caller_site(_INTERNAL))
+            stats.unions += 1
+            stats.union_cardinality += (event.args or {}).get("cardinality", 0)
+        elif event.name == "smt.check" and event.ph == END:
+            args = event.args or {}
+            stats = self._site(_caller_site(_INTERNAL))
+            stats.checks += args.get("checks", 1)
+            stats.conflicts += args.get("conflicts", 0)
+            stats.budget_trips += args.get("tripped", 0)
+            stats.solver_seconds += args.get("seconds", 0.0)
 
     # ------------------------------------------------------------------
 
@@ -161,21 +118,6 @@ class SymbolicProfiler:
             stats = SiteStats()
             self.sites[name] = stats
         return stats
-
-    def _record_join(self, site: str) -> None:
-        self._site(site).joins += 1
-
-    def _record_union(self, site: str, size: int) -> None:
-        stats = self._site(site)
-        stats.unions += 1
-        stats.union_cardinality += size
-
-    def _record_check(self, site: str, delta, elapsed: float) -> None:
-        stats = self._site(site)
-        stats.checks += 1
-        stats.conflicts += getattr(delta, "conflicts", 0)
-        stats.budget_trips += getattr(delta, "tripped", 0)
-        stats.solver_seconds += elapsed
 
     # ------------------------------------------------------------------
 

@@ -44,11 +44,18 @@ class EvalStats:
     encode_cache_misses: int = 0
     budget_trips: int = 0
     _union_base: tuple = field(default=(0, 0), repr=False)
+    _max_base: int = field(default=0, repr=False)
     _start: float = field(default=0.0, repr=False)
 
     def start(self) -> None:
         self._union_base = (UNION_COUNTERS.created,
                             UNION_COUNTERS.cardinality_sum)
+        # The global max is windowed: save the surrounding evaluation's
+        # peak and zero the counter so this window measures only its own
+        # unions. stop() restores the combined peak, so nested/interleaved
+        # evaluations (a query run from inside another evaluation) do not
+        # clobber the outer window's `max` column.
+        self._max_base = UNION_COUNTERS.max_cardinality
         UNION_COUNTERS.max_cardinality = 0
         self._start = time.perf_counter()
 
@@ -58,8 +65,9 @@ class EvalStats:
         self.unions_created += UNION_COUNTERS.created - base_created
         self.union_cardinality_sum += \
             UNION_COUNTERS.cardinality_sum - base_sum
-        self.max_union_cardinality = max(self.max_union_cardinality,
-                                         UNION_COUNTERS.max_cardinality)
+        observed = UNION_COUNTERS.max_cardinality
+        self.max_union_cardinality = max(self.max_union_cardinality, observed)
+        UNION_COUNTERS.max_cardinality = max(self._max_base, observed)
 
     def record_check(self, check) -> None:
         """Accumulate a CheckStats-shaped delta from a solver check.
@@ -78,6 +86,26 @@ class EvalStats:
         # `tripped` arrived with resource budgets; older CheckStats-shaped
         # objects may not carry it.
         self.budget_trips += getattr(check, "tripped", 0)
+
+    def check_listener(self, event) -> None:
+        """An event-bus sink accumulating ``smt.check`` span deltas.
+
+        Queries subscribe this bound method around each solver check, so
+        the counters flow through the same emission path as every other
+        consumer (tracers, the profiler, metrics) instead of a private
+        side channel. Other events are ignored.
+        """
+        if event.name != "smt.check" or event.ph != "E":
+            return
+        args = event.args or {}
+        self.solver_checks += args.get("checks", 0)
+        self.solver_conflicts += args.get("conflicts", 0)
+        self.solver_decisions += args.get("decisions", 0)
+        self.solver_propagations += args.get("propagations", 0)
+        self.solver_learned += args.get("learned", 0)
+        self.encode_cache_hits += args.get("encode_hits", 0)
+        self.encode_cache_misses += args.get("encode_misses", 0)
+        self.budget_trips += args.get("tripped", 0)
 
     def row(self) -> dict:
         """A Table 4-shaped row."""

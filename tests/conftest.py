@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.obs import reset_env_sink
+from repro.obs.events import BUS
 from repro.sym.fresh import reset_fresh_names
 from repro.sym.values import (
     UNION_COUNTERS,
@@ -33,3 +35,9 @@ def _isolate_symbolic_state():
     set_default_int_width(width)
     reset_fresh_names()
     UNION_COUNTERS.reset()
+    # A test that failed mid-trace may leave sinks on the event bus (and
+    # the REPRO_TRACE writer open); detach them so tracing stays disabled
+    # for everyone else.
+    reset_env_sink()
+    for sink in BUS.sinks:
+        BUS.unsubscribe(sink)

@@ -1,0 +1,110 @@
+"""Tests for the event bus core: subscription, enabled flag, emission."""
+
+import pytest
+
+from repro.obs.events import BEGIN, BUS, END, Event, EventBus, INSTANT
+from repro.obs.sinks import MemorySink
+
+
+class TestSubscription:
+    def test_enabled_tracks_subscribers(self):
+        bus = EventBus()
+        assert not bus.enabled
+        unsub_a = bus.subscribe(MemorySink())
+        assert bus.enabled
+        unsub_b = bus.subscribe(MemorySink())
+        unsub_a()
+        assert bus.enabled  # one sink left
+        unsub_b()
+        assert not bus.enabled
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        sink_a, sink_b = MemorySink(), MemorySink()
+        unsub_a = bus.subscribe(sink_a)
+        bus.subscribe(sink_b)
+        unsub_a()
+        unsub_a()  # second call must not detach sink_b
+        assert bus.sinks == [sink_b]
+        assert bus.enabled
+
+    def test_out_of_order_unsubscribe(self):
+        bus = EventBus()
+        unsub_a = bus.subscribe(MemorySink())
+        unsub_b = bus.subscribe(MemorySink())
+        unsub_a()  # LIFO not required
+        assert bus.enabled
+        unsub_b()
+        assert not bus.enabled
+
+    def test_same_sink_twice(self):
+        bus = EventBus()
+        sink = MemorySink()
+        unsub_1 = bus.subscribe(sink)
+        unsub_2 = bus.subscribe(sink)
+        bus.instant("x", "test")
+        assert len(sink.events) == 2  # delivered once per subscription
+        unsub_1()
+        bus.instant("y", "test")
+        assert len(sink.events) == 3
+        unsub_2()
+        assert not bus.enabled
+
+
+class TestEmission:
+    def test_delivery_order_and_payload(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.subscribe(sink)
+        bus.begin("op", "test", n=1)
+        bus.instant("tick", "test")
+        bus.end("op", "test", ok=True)
+        phases = [e.ph for e in sink.events]
+        assert phases == [BEGIN, INSTANT, END]
+        assert sink.events[0].args == {"n": 1}
+        assert sink.events[1].args is None  # no payload → no dict alloc
+        assert sink.events[2].args == {"ok": True}
+
+    def test_timestamps_monotonic(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.subscribe(sink)
+        for index in range(100):
+            bus.instant("t", "test", i=index)
+        stamps = [e.ts_us for e in sink.events]
+        assert stamps == sorted(stamps)
+
+    def test_multiple_sinks_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("a"))
+        bus.subscribe(lambda e: order.append("b"))
+        bus.instant("x", "test")
+        assert order == ["a", "b"]
+
+    def test_event_to_dict(self):
+        event = Event("smt.check", "smt", END, 12.5, {"result": "sat"})
+        assert event.to_dict() == {
+            "name": "smt.check", "cat": "smt", "ph": "E",
+            "ts_us": 12.5, "args": {"result": "sat"}}
+        bare = Event("vm.join", "vm", INSTANT, 1.0, None)
+        assert bare.to_dict()["args"] == {}
+
+
+class TestGlobalBus:
+    def test_disabled_by_default(self):
+        assert not BUS.enabled
+        assert BUS.sinks == []
+
+    def test_instrumented_code_emits_nothing_when_disabled(self):
+        from repro.sym import fresh_bool, merge
+        sink = MemorySink()
+        merge(fresh_bool("off"), (1,), (1, 2))  # before subscribing
+        unsubscribe = BUS.subscribe(sink)
+        try:
+            merge(fresh_bool("on"), (1,), (1, 2))
+        finally:
+            unsubscribe()
+        merge(fresh_bool("off2"), (1,), (1, 2))  # after detaching
+        unions = [e for e in sink.events if e.name == "vm.union"]
+        assert len(unions) == 1

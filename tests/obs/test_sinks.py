@@ -1,0 +1,116 @@
+"""Tests for trace sinks: JSONL, Chrome trace-event export, summaries."""
+
+import io
+import json
+
+from repro.obs.events import BEGIN, END, Event, EventBus, INSTANT
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlTraceWriter,
+    SummarySink,
+    jsonl_to_chrome,
+)
+
+
+def _span(bus):
+    bus.begin("outer", "test", n=1)
+    bus.instant("mark", "test")
+    bus.begin("inner", "test")
+    bus.end("inner", "test")
+    bus.end("outer", "test", ok=True)
+
+
+class TestJsonlWriter:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        bus = EventBus()
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path)
+        bus.subscribe(writer)
+        _span(bus)
+        writer.close()
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 5
+        rows = [json.loads(line) for line in lines]
+        assert [r["ph"] for r in rows] == ["B", "i", "B", "E", "E"]
+        assert rows[0]["args"] == {"n": 1}
+        assert writer.events_written == 5
+
+    def test_file_like_target_not_closed(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        writer(Event("x", "test", INSTANT, 1.0, None))
+        writer.close()
+        assert not buffer.closed  # caller owns file-likes
+        assert json.loads(buffer.getvalue())["name"] == "x"
+
+    def test_flushed_line_by_line(self, tmp_path):
+        """A crashed run's trace is readable up to the failure point."""
+        bus = EventBus()
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path)
+        bus.subscribe(writer)
+        bus.begin("op", "test")
+        # Without close(): the line must already be on disk.
+        assert json.loads(path.read_text().strip())["name"] == "op"
+        writer.close()
+
+
+class TestChromeExport:
+    def test_sink_emits_loadable_json(self, tmp_path):
+        bus = EventBus()
+        sink = ChromeTraceSink(pid=7, tid=3)
+        bus.subscribe(sink)
+        _span(bus)
+        path = tmp_path / "trace.json"
+        sink.write(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)  # must parse as strict JSON
+        events = payload["traceEvents"]
+        assert len(events) == 5
+        for event in events:
+            assert event["ph"] in ("B", "E", "i")
+            assert isinstance(event["ts"], (int, float))
+            assert event["pid"] == 7
+            assert event["tid"] == 3
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_jsonl_to_chrome_roundtrip(self, tmp_path):
+        bus = EventBus()
+        jsonl = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(jsonl)
+        bus.subscribe(writer)
+        _span(bus)
+        writer.close()
+        chrome = tmp_path / "t.json"
+        count = jsonl_to_chrome(jsonl, chrome, pid=9, tid=2)
+        assert count == 5
+        with open(chrome, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["traceEvents"]) == 5
+        for event in payload["traceEvents"]:
+            for key in ("name", "cat", "ph", "ts", "pid", "tid", "args"):
+                assert key in event
+            assert event["pid"] == 9 and event["tid"] == 2
+
+
+class TestSummarySink:
+    def test_aggregates_by_nesting_path(self):
+        bus = EventBus()
+        summary = SummarySink()
+        bus.subscribe(summary)
+        for _ in range(3):
+            _span(bus)
+        report = summary.report()
+        lines = report.splitlines()
+        assert "span" in lines[0]
+        outer = next(line for line in lines if line.startswith("outer"))
+        assert " 3 " in " ".join(outer.split())
+        inner = next(line for line in lines if "inner" in line)
+        assert inner.startswith("  ")  # nested under outer
+
+    def test_tolerates_unbalanced_end(self):
+        summary = SummarySink()
+        summary(Event("orphan", "test", END, 1.0, None))  # must not raise
+        assert summary.report()

@@ -57,6 +57,53 @@ class TestProfiler:
             assert sum(s.joins for s in outer.sites.values()) == 3
             assert sum(s.joins for s in inner.sites.values()) == 3
 
+    def test_interleaved_profilers_restore_cleanly(self):
+        """Non-LIFO enter/exit: each profiler sees exactly the events of
+        its own active window, and the bus ends up with no subscribers.
+        (The monkey-patching implementation corrupted the hooks here:
+        exiting `first` mid-way restored the original methods while
+        `second` was still live.)"""
+        from repro.obs.events import BUS
+
+        with VM():
+            first = SymbolicProfiler()
+            second = SymbolicProfiler()
+            first.__enter__()
+            branchy_workload()           # seen by first only
+            second.__enter__()
+            branchy_workload()           # seen by both
+            first.__exit__(None, None, None)
+            branchy_workload()           # seen by second only
+            second.__exit__(None, None, None)
+            branchy_workload()           # seen by neither
+        assert sum(s.joins for s in first.sites.values()) == 6
+        assert sum(s.joins for s in second.sites.values()) == 6
+        assert not BUS.enabled
+        assert BUS.sinks == []
+
+    def test_exit_is_idempotent(self):
+        from repro.obs.events import BUS
+
+        profiler = SymbolicProfiler()
+        with VM():
+            profiler.__enter__()
+            branchy_workload()
+            profiler.__exit__(None, None, None)
+            profiler.__exit__(None, None, None)  # double exit: no error
+        assert not BUS.enabled
+
+    def test_no_methods_are_patched(self):
+        """The profiler subscribes to the bus; it must not rebind any VM
+        or solver methods."""
+        from repro.smt.solver import SmtSolver
+
+        guarded = VM.guarded
+        check = SmtSolver.check
+        with VM(), SymbolicProfiler():
+            branchy_workload()
+        assert VM.guarded is guarded
+        assert SmtSolver.check is check
+
     def test_report_renders(self):
         with VM(), SymbolicProfiler() as profiler:
             branchy_workload()

@@ -60,3 +60,62 @@ class TestEvalStats:
         merge(fresh_bool("p2"), union, (1, 2, 3))
         stats.stop()
         assert stats.max_union_cardinality == 3
+
+    def test_nested_windows_do_not_clobber_outer_max(self):
+        """Regression: start() zeroes the global max counter for its own
+        window; stop() must restore the surrounding window's peak, or a
+        nested evaluation (a query run from inside another evaluation)
+        under-reports the outer `max` column."""
+        outer = EvalStats()
+        inner = EvalStats()
+        outer.start()
+        union = merge(fresh_bool("n1"), (1,), (1, 2))
+        merge(fresh_bool("n2"), union, (1, 2, 3))  # outer peak: 3
+        inner.start()
+        merge(fresh_bool("n3"), (1,), (1, 2))      # inner peak: 2
+        inner.stop()
+        outer.stop()
+        assert inner.max_union_cardinality == 2
+        assert outer.max_union_cardinality == 3  # not clobbered to 2
+
+    def test_interleaved_windows_keep_global_peak(self):
+        outer = EvalStats()
+        inner = EvalStats()
+        outer.start()
+        merge(fresh_bool("i1"), (1,), (1, 2))      # peak 2, before inner
+        inner.start()
+        inner.stop()                                # inner saw nothing
+        outer.stop()
+        assert inner.max_union_cardinality == 0
+        # The peak predates inner's window, but stop() restores it.
+        assert outer.max_union_cardinality == 2
+
+    def test_check_listener_matches_record_check(self):
+        """The bus listener and the legacy record_check accumulate the
+        same totals from the same delta."""
+        from repro.obs.events import END, Event
+
+        delta = {"checks": 1, "conflicts": 7, "decisions": 20,
+                 "propagations": 150, "learned": 5, "encode_hits": 9,
+                 "encode_misses": 4, "seconds": 0.01, "tripped": 1}
+        via_listener = EvalStats()
+        via_listener.check_listener(
+            Event("smt.check", "smt", END, 1.0, dict(delta)))
+        assert via_listener.solver_checks == 1
+        assert via_listener.solver_conflicts == 7
+        assert via_listener.solver_decisions == 20
+        assert via_listener.solver_propagations == 150
+        assert via_listener.solver_learned == 5
+        assert via_listener.encode_cache_hits == 9
+        assert via_listener.encode_cache_misses == 4
+        assert via_listener.budget_trips == 1
+
+    def test_check_listener_ignores_other_events(self):
+        from repro.obs.events import BEGIN, INSTANT, Event
+
+        stats = EvalStats()
+        stats.check_listener(Event("smt.check", "smt", BEGIN, 1.0,
+                                   {"assumptions": 2}))
+        stats.check_listener(Event("vm.join", "vm", INSTANT, 2.0,
+                                   {"cardinality": 2}))
+        assert stats.solver_checks == 0
