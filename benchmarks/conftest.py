@@ -23,6 +23,18 @@ def pytest_addoption(parser):
         "--budget-ms", type=int, default=None,
         help="wall-clock budget (ms) for the budgeted benchmark rows; "
              "defaults to a generous 60s so unbudgeted runs complete")
+    parser.addoption(
+        "--certify", action="store_true", default=False,
+        help="include the trust-but-verify rows: the factoring sweep is "
+             "re-run with certification on and the overhead ratio lands "
+             "in BENCH_solver.json")
+
+
+@pytest.fixture
+def certify_enabled(request):
+    if not request.config.getoption("--certify"):
+        pytest.skip("pass --certify to include the certification rows")
+    return True
 
 
 @pytest.fixture

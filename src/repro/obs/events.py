@@ -32,6 +32,10 @@ Event taxonomy (name — category — payload):
 ``smt.check`` (span)      smt    ``assumptions``, ``scopes``; end: ``result``
                                  plus the full CheckStats delta
 ``smt.encode`` (span)     smt    end: ``hits``, ``misses``, ``cached``
+``cert.model`` (span)     cert   end: ``ok`` (SAT-answer certification)
+``cert.proof`` (span)     cert   ``steps``; end: ``ok``, ``core``
+``cert.core`` (span)      cert   ``size``; end: ``ok`` (minimized-core
+                                 re-proof)
 ``sat.solve`` (span)      sat    ``assumptions``; end: ``result``,
                                  ``conflicts``, ``reason``
 ``sat.restart``           sat    ``restarts``, ``conflicts``, ``limit``

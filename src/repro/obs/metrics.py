@@ -155,10 +155,15 @@ class BusMetrics:
             reg.counter("smt.encode_hits").inc(args.get("encode_hits", 0))
             reg.counter("smt.encode_misses").inc(args.get("encode_misses", 0))
             reg.counter("smt.budget_trips").inc(args.get("tripped", 0))
+            reg.counter("smt.certified").inc(args.get("certified", 0))
             reg.histogram("smt.check_conflicts").observe(
                 args.get("conflicts", 0))
             reg.histogram("smt.check_ms").observe(
                 round(args.get("seconds", 0.0) * 1000))
+        elif name in ("cert.model", "cert.proof", "cert.core") and ph == END:
+            reg.counter(f"{name}.checks").inc()
+            if not args.get("ok", False):
+                reg.counter(f"{name}.rejected").inc()
         elif name == "smt.encode" and ph == END:
             reg.counter("encode.spans").inc()
             reg.counter("encode.hits").inc(args.get("hits", 0))

@@ -92,7 +92,8 @@ def debug(thunk: Callable[[], object],
           predicate: Optional[Callable[[object], bool]] = None,
           max_conflicts: Optional[int] = None,
           budget: Optional[Budget] = None,
-          trace=None) -> QueryOutcome:
+          trace=None,
+          certify: Optional[bool] = None) -> QueryOutcome:
     """Localize the failure of `thunk` to a minimal core of expressions.
 
     Returns a ``sat`` outcome whose ``core`` lists the labels of a minimal
@@ -104,16 +105,20 @@ def debug(thunk: Callable[[], object],
     the smallest core proven so far, plus the trip's ``report`` and a
     message noting the core may not be minimal. Only an exhaustion during
     the *initial* check yields ``unknown``. `trace` attaches an
-    observability sink exactly as in :func:`repro.queries.queries.solve`.
+    observability sink exactly as in :func:`repro.queries.queries.solve`,
+    and `certify` likewise enables trust-but-verify mode — in this query
+    it additionally re-proves the minimized core unsat on a fresh solver
+    before the core is reported.
     """
     from repro.queries.queries import _query_span
     with tracing(trace), _query_span("query.debug") as span:
         span.outcome = outcome = _debug(thunk, predicate, max_conflicts,
-                                        budget)
+                                        budget, certify)
         return outcome
 
 
-def _debug(thunk, predicate, max_conflicts, budget) -> QueryOutcome:
+def _debug(thunk, predicate, max_conflicts, budget,
+           certify=None) -> QueryOutcome:
     if predicate is None:
         predicate = lambda value: True  # relax every primitive
     with VM() as vm, DebugSession(predicate) as session:
@@ -129,7 +134,8 @@ def _debug(thunk, predicate, max_conflicts, budget) -> QueryOutcome:
             return QueryOutcome(
                 "unknown", stats=vm.stats,
                 message="failure is independent of any relaxable expression")
-        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
+        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
+                           certify=certify)
         for assertion in vm.assertions:
             solver.add_assertion(assertion)
         selectors = [selector for _, selector in session.relaxations]

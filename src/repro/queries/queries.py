@@ -99,7 +99,8 @@ def _unknown(vm: VM, solver: SmtSolver, message: str = "") -> QueryOutcome:
 def solve(thunk: Callable[[], object],
           max_conflicts: Optional[int] = None,
           budget: Optional[Budget] = None,
-          trace=None) -> QueryOutcome:
+          trace=None,
+          certify: Optional[bool] = None) -> QueryOutcome:
     """Find an interpretation under which the thunk's assertions all hold.
 
     `budget` bounds the whole query (encoding and solving); on exhaustion
@@ -109,19 +110,26 @@ def solve(thunk: Callable[[], object],
     path writes JSONL trace events there, a callable is subscribed to the
     event bus directly, and ``None`` defers to the ``REPRO_TRACE``
     environment variable (no-op when unset).
+
+    `certify` turns on trust-but-verify mode for the query's solver: a
+    DRUP proof is logged and every answer is independently re-checked
+    (see :mod:`repro.solver.certify`). ``None`` defers to the
+    ``REPRO_CERTIFY`` environment variable.
     """
     with tracing(trace), _query_span("query.solve") as span:
-        span.outcome = outcome = _solve(thunk, max_conflicts, budget)
+        span.outcome = outcome = _solve(thunk, max_conflicts, budget,
+                                        certify)
         return outcome
 
 
-def _solve(thunk, max_conflicts, budget) -> QueryOutcome:
+def _solve(thunk, max_conflicts, budget, certify) -> QueryOutcome:
     with VM() as vm:
         failed, _ = _run(thunk, vm)
         if failed:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="execution fails on every path")
-        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
+        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
+                           certify=certify)
         for assertion in vm.assertions:
             solver.add_assertion(assertion)
         result = _check(solver, vm)
@@ -137,7 +145,8 @@ def verify(thunk: Callable[[], object],
            setup: Optional[Callable[[], object]] = None,
            max_conflicts: Optional[int] = None,
            budget: Optional[Budget] = None,
-           trace=None) -> QueryOutcome:
+           trace=None,
+           certify: Optional[bool] = None) -> QueryOutcome:
     """Find a counterexample: an interpretation violating some assertion.
 
     Assertions made by `setup` (and, in Rosette, any assertions made before
@@ -145,14 +154,16 @@ def verify(thunk: Callable[[], object],
     satisfy; assertions made by `thunk` are the verification targets. A
     `sat` outcome means the property FAILS (the model is the
     counterexample); `unsat` means the assertions hold for every input —
-    the paper's "no counterexample found". `trace` is as in :func:`solve`.
+    the paper's "no counterexample found". `trace` and `certify` are as
+    in :func:`solve`.
     """
     with tracing(trace), _query_span("query.verify") as span:
-        span.outcome = outcome = _verify(thunk, setup, max_conflicts, budget)
+        span.outcome = outcome = _verify(thunk, setup, max_conflicts,
+                                         budget, certify)
         return outcome
 
 
-def _verify(thunk, setup, max_conflicts, budget) -> QueryOutcome:
+def _verify(thunk, setup, max_conflicts, budget, certify) -> QueryOutcome:
     with VM() as vm:
         if setup is not None:
             setup_failed, _ = _run(setup, vm)
@@ -171,7 +182,8 @@ def _verify(thunk, setup, max_conflicts, budget) -> QueryOutcome:
         if not targets:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="no assertions reachable")
-        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
+        solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
+                           certify=certify)
         for assumption in assumptions:
             solver.add_assertion(assumption)
         solver.add_assertion(T.mk_or(*[T.mk_not(a) for a in targets]))
@@ -206,7 +218,8 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
           max_iterations: int = 64,
           max_conflicts: Optional[int] = None,
           budget: Optional[Budget] = None,
-          iteration_budget: Optional[dict] = None) -> QueryOutcome:
+          iteration_budget: Optional[dict] = None,
+          certify: Optional[bool] = None) -> QueryOutcome:
     """Counterexample-guided inductive synthesis of ∃holes ∀inputs. goal.
 
     Counterexamples are *substituted* into the goal formula — the term
@@ -237,8 +250,10 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
     inputs = set(input_terms)
     hole_terms = [var for var in T.term_vars(goal) if var not in inputs]
     examples: List[dict] = [{var: _default_value(var) for var in inputs}]
-    guess_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
-    check_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget)
+    guess_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
+                             certify=certify)
+    check_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
+                             certify=certify)
 
     def _exhausted(solver: SmtSolver, phase: str) -> QueryOutcome:
         outcome = _unknown(vm, solver)
@@ -328,7 +343,8 @@ def synthesize(inputs: Sequence, thunk: Callable[[], object],
                max_conflicts: Optional[int] = None,
                budget: Optional[Budget] = None,
                iteration_budget: Optional[dict] = None,
-               trace=None) -> QueryOutcome:
+               trace=None,
+               certify: Optional[bool] = None) -> QueryOutcome:
     """CEGIS synthesis: make the assertions hold for *all* `inputs`.
 
     `inputs` are the universally quantified symbolic constants (the paper's
@@ -336,17 +352,17 @@ def synthesize(inputs: Sequence, thunk: Callable[[], object],
     the assertions is an existentially quantified hole. Assertions made by
     `setup` are input preconditions: the goal is ∀inputs. pre ⇒ post.
     See :func:`cegis` for the `budget`/`iteration_budget` semantics and
-    :func:`solve` for `trace`.
+    :func:`solve` for `trace` and `certify`.
     """
     with tracing(trace), _query_span("query.synthesize") as span:
         span.outcome = outcome = _synthesize(
             inputs, thunk, setup, max_iterations, max_conflicts, budget,
-            iteration_budget)
+            iteration_budget, certify)
         return outcome
 
 
 def _synthesize(inputs, thunk, setup, max_iterations, max_conflicts,
-                budget, iteration_budget) -> QueryOutcome:
+                budget, iteration_budget, certify) -> QueryOutcome:
     with VM() as vm:
         if setup is not None:
             setup_failed, _ = _run(setup, vm)
@@ -367,7 +383,8 @@ def _synthesize(inputs, thunk, setup, max_iterations, max_conflicts,
                      max_iterations=max_iterations,
                      max_conflicts=max_conflicts,
                      budget=budget,
-                     iteration_budget=iteration_budget)
+                     iteration_budget=iteration_budget,
+                     certify=certify)
 
 
 def _default_value(var: T.Term):

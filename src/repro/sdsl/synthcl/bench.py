@@ -53,7 +53,8 @@ class SynthClBenchmark:
 # ---------------------------------------------------------------------------
 
 def _mm_verify(version: int, dims: Sequence[Tuple[int, int, int]],
-               budget: Optional[Budget] = None) -> QueryOutcome:
+               budget: Optional[Budget] = None,
+               certify: Optional[bool] = None) -> QueryOutcome:
     implementation = {1: mm.mm_parallel_v1, 2: mm.mm_parallel_v2}[version]
     last: Optional[QueryOutcome] = None
     for n, p, m in dims:
@@ -62,7 +63,7 @@ def _mm_verify(version: int, dims: Sequence[Tuple[int, int, int]],
             b = _symbolic_array("b", p * m)
             _assert_equal_arrays(mm.mm_reference(a, b, n, p, m),
                                  implementation(a, b, n, p, m))
-        outcome = verify(thunk, budget=budget)
+        outcome = verify(thunk, budget=budget, certify=certify)
         last = _merge_outcomes(last, outcome)
         if outcome.status != "unsat":
             return last  # counterexample or exhausted budget: stop early
@@ -70,7 +71,8 @@ def _mm_verify(version: int, dims: Sequence[Tuple[int, int, int]],
 
 
 def _mm_synthesize(dims: Sequence[Tuple[int, int, int]],
-                   budget: Optional[Budget] = None) -> QueryOutcome:
+                   budget: Optional[Budget] = None,
+                   certify: Optional[bool] = None) -> QueryOutcome:
     n, p, m = dims[0]
     inputs: List = []
 
@@ -80,7 +82,8 @@ def _mm_synthesize(dims: Sequence[Tuple[int, int, int]],
         inputs.extend(a + b)
         _assert_equal_arrays(mm.mm_reference(a, b, n, p, m),
                              mm.mm_sketch(a, b, n, p, m))
-    return synthesize(_LazyInputs(inputs), thunk, budget=budget)
+    return synthesize(_LazyInputs(inputs), thunk, budget=budget,
+                      certify=certify)
 
 
 class _LazyInputs:
@@ -98,7 +101,8 @@ class _LazyInputs:
 # ---------------------------------------------------------------------------
 
 def _sf_verify(version: int, sizes: Sequence[Tuple[int, int]],
-               budget: Optional[Budget] = None) -> QueryOutcome:
+               budget: Optional[Budget] = None,
+               certify: Optional[bool] = None) -> QueryOutcome:
     implementation = sobel.SOBEL_VERSIONS[version]
     last: Optional[QueryOutcome] = None
     for w, h in sizes:
@@ -106,7 +110,7 @@ def _sf_verify(version: int, sizes: Sequence[Tuple[int, int]],
             image = _symbolic_array("px", w * h * sobel.CHANNELS)
             _assert_equal_arrays(sobel.sobel_reference(image, w, h),
                                  implementation(image, w, h))
-        outcome = verify(thunk, budget=budget)
+        outcome = verify(thunk, budget=budget, certify=certify)
         last = _merge_outcomes(last, outcome)
         if outcome.status != "unsat":
             return last
@@ -114,7 +118,8 @@ def _sf_verify(version: int, sizes: Sequence[Tuple[int, int]],
 
 
 def _sf_synthesize(sizes: Sequence[Tuple[int, int]],
-                   budget: Optional[Budget] = None) -> QueryOutcome:
+                   budget: Optional[Budget] = None,
+                   certify: Optional[bool] = None) -> QueryOutcome:
     w, h = sizes[0]
     inputs: List = []
 
@@ -123,7 +128,8 @@ def _sf_synthesize(sizes: Sequence[Tuple[int, int]],
         inputs.extend(image)
         _assert_equal_arrays(sobel.sobel_reference(image, w, h),
                              sobel.sobel_sketch(image, w, h))
-    return synthesize(_LazyInputs(inputs), thunk, budget=budget)
+    return synthesize(_LazyInputs(inputs), thunk, budget=budget,
+                      certify=certify)
 
 
 # ---------------------------------------------------------------------------
@@ -131,7 +137,8 @@ def _sf_synthesize(sizes: Sequence[Tuple[int, int]],
 # ---------------------------------------------------------------------------
 
 def _fwt_verify(version: int, exponents: Sequence[int],
-                budget: Optional[Budget] = None) -> QueryOutcome:
+                budget: Optional[Budget] = None,
+                certify: Optional[bool] = None) -> QueryOutcome:
     implementation = {1: fwt.fwt_parallel_v1, 2: fwt.fwt_parallel_v2}[version]
     last: Optional[QueryOutcome] = None
     for k in exponents:
@@ -139,7 +146,7 @@ def _fwt_verify(version: int, exponents: Sequence[int],
             data = _symbolic_array("x", 1 << k)
             _assert_equal_arrays(fwt.fwt_reference(data),
                                  implementation(data))
-        outcome = verify(thunk, budget=budget)
+        outcome = verify(thunk, budget=budget, certify=certify)
         last = _merge_outcomes(last, outcome)
         if outcome.status != "unsat":
             return last
@@ -147,7 +154,8 @@ def _fwt_verify(version: int, exponents: Sequence[int],
 
 
 def _fwt_synthesize(exponents: Sequence[int],
-                    budget: Optional[Budget] = None) -> QueryOutcome:
+                    budget: Optional[Budget] = None,
+                    certify: Optional[bool] = None) -> QueryOutcome:
     k = exponents[0]
     inputs: List = []
 
@@ -155,7 +163,8 @@ def _fwt_synthesize(exponents: Sequence[int],
         data = _symbolic_array("x", 1 << k)
         inputs.extend(data)
         _assert_equal_arrays(fwt.fwt_reference(data), fwt.fwt_sketch(data))
-    return synthesize(_LazyInputs(inputs), thunk, budget=budget)
+    return synthesize(_LazyInputs(inputs), thunk, budget=budget,
+                      certify=certify)
 
 
 def _merge_outcomes(accumulated: Optional[QueryOutcome],
@@ -179,6 +188,7 @@ def _merge_outcomes(accumulated: Optional[QueryOutcome],
     outcome.stats.encode_cache_hits += accumulated.stats.encode_cache_hits
     outcome.stats.encode_cache_misses += accumulated.stats.encode_cache_misses
     outcome.stats.budget_trips += accumulated.stats.budget_trips
+    outcome.stats.certified_checks += accumulated.stats.certified_checks
     return outcome
 
 
@@ -202,44 +212,56 @@ def _register(name: str, kind: str, bounds, paper_bounds: str, run) -> None:
 
 _register("MM1v", "verify", _MM_DIMS,
           "n,p,m ∈ {4,8,12,16}, 32-bit",
-          lambda bounds, budget=None: _mm_verify(1, bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _mm_verify(1, bounds, budget, certify))
 _register("MM2v", "verify", _MM_DIMS,
           "n,p,m ∈ {4,8,12,16}, 32-bit",
-          lambda bounds, budget=None: _mm_verify(2, bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _mm_verify(2, bounds, budget, certify))
 _register("MM2s", "synthesize", [(2, 3, 2)],
           "n,p,m ∈ {8}, 8-bit",
-          lambda bounds, budget=None: _mm_synthesize(bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _mm_synthesize(bounds, budget, certify))
 for _v in (1, 2, 3, 4, 5):
     _register(f"SF{_v}v", "verify", _SF_SIZES,
               "w,h ∈ {1..9}, 32-bit",
-              lambda bounds, budget=None, _v=_v: _sf_verify(_v, bounds, budget))
+              lambda bounds, budget=None, certify=None, _v=_v:
+                  _sf_verify(_v, bounds, budget, certify))
 for _v in (6, 7):
     _register(f"SF{_v}v", "verify", _SF_INTERIOR,
               "w,h ∈ {3..9}, 32-bit",
-              lambda bounds, budget=None, _v=_v: _sf_verify(_v, bounds, budget))
+              lambda bounds, budget=None, certify=None, _v=_v:
+                  _sf_verify(_v, bounds, budget, certify))
 _register("SF3s", "synthesize", [(2, 2)],
           "w,h ∈ {1..4}, 8-bit",
-          lambda bounds, budget=None: _sf_synthesize(bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _sf_synthesize(bounds, budget, certify))
 _register("SF7s", "synthesize", [(3, 3)],
           "w,h ∈ {4}, 8-bit",
-          lambda bounds, budget=None: _sf_synthesize(bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _sf_synthesize(bounds, budget, certify))
 _register("FWT1v", "verify", _FWT_EXPONENTS,
           "2^k, k ∈ {0..6}, 32-bit",
-          lambda bounds, budget=None: _fwt_verify(1, bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _fwt_verify(1, bounds, budget, certify))
 _register("FWT2v", "verify", _FWT_EXPONENTS,
           "2^k, k ∈ {0..6}, 32-bit",
-          lambda bounds, budget=None: _fwt_verify(2, bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _fwt_verify(2, bounds, budget, certify))
 _register("FWT1s", "synthesize", [3],
           "2^k, k ∈ {3}, 8-bit",
-          lambda bounds, budget=None: _fwt_synthesize(bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _fwt_synthesize(bounds, budget, certify))
 _register("FWT2s", "synthesize", [2],
           "2^k, k ∈ {3}, 8-bit",
-          lambda bounds, budget=None: _fwt_synthesize(bounds, budget))
+          lambda bounds, budget=None, certify=None:
+              _fwt_synthesize(bounds, budget, certify))
 
 
 def run_benchmark(name: str, bounds=None,
                   budget: Optional[Budget] = None,
-                  trace=None) -> QueryOutcome:
+                  trace=None,
+                  certify: Optional[bool] = None) -> QueryOutcome:
     """Run one Table 1 benchmark; returns its QueryOutcome with stats.
 
     `budget` caps the whole benchmark: verification sweeps share it across
@@ -251,9 +273,13 @@ def run_benchmark(name: str, bounds=None,
     for the whole benchmark: the sink is subscribed here, at driver level,
     so a verification sweep's many queries land in one trace instead of
     each query reopening (and truncating) the file.
+
+    `certify` enables trust-but-verify mode on every solver the benchmark
+    creates (DRUP proof + model/core certification; see
+    :mod:`repro.solver.certify`); ``None`` defers to ``REPRO_CERTIFY``.
     """
     benchmark = SYNTHCL_BENCHMARKS[name]
     with tracing(trace):
         return benchmark.run(
             bounds if bounds is not None else benchmark.bounds,
-            budget=budget)
+            budget=budget, certify=certify)

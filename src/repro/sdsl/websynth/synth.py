@@ -38,7 +38,8 @@ def synthesize_xpath(root: HtmlNode, examples: Sequence[str],
                      length: Optional[int] = None,
                      max_conflicts: Optional[int] = None,
                      budget: Optional[Budget] = None,
-                     trace=None) -> WebSynthResult:
+                     trace=None,
+                     certify: Optional[bool] = None) -> WebSynthResult:
     """Synthesize an XPath selecting every example text of `root`.
 
     `length` defaults to the depth of the example nodes (the synthetic
@@ -46,7 +47,8 @@ def synthesize_xpath(root: HtmlNode, examples: Sequence[str],
     natural upper bound noted in the paper. `budget` bounds the query; on
     exhaustion the result is ``unknown`` with the trip's ``report``.
     `trace` (a JSONL path or a callable) attaches an observability sink
-    for the query, as in :func:`repro.queries.queries.solve`.
+    for the query, and `certify` enables trust-but-verify solving, both
+    as in :func:`repro.queries.queries.solve`.
     """
     if length is None:
         length = _example_depth(root, examples[0])
@@ -64,7 +66,7 @@ def synthesize_xpath(root: HtmlNode, examples: Sequence[str],
             assert_(reached, f"XPath must reach {example!r}")
 
     outcome = solve(program, max_conflicts=max_conflicts, budget=budget,
-                    trace=trace)
+                    trace=trace, certify=certify)
     if outcome.status == "sat":
         return WebSynthResult(status="sat",
                               xpath=holder["xpath"].decode(outcome.model),

@@ -30,6 +30,7 @@ afterwards so a model obtained before minimization stays retrievable.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -39,7 +40,19 @@ from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.smt.bitblast import BitBlaster
 from repro.solver.budget import Budget, BudgetExhausted, ResourceReport
+from repro.solver.certify import (
+    CertificationError,
+    ProofLog,
+    check_model,
+    check_proof,
+    recheck_unsat,
+)
 from repro.solver.sat import SatResult, SatSolver
+
+
+def _certify_default() -> bool:
+    """`certify=None` resolves against the REPRO_CERTIFY environment knob."""
+    return os.environ.get("REPRO_CERTIFY", "") not in ("", "0")
 
 
 class SmtResult(enum.Enum):
@@ -68,12 +81,15 @@ class CheckStats:
     # the covered checks tripped a resource limit (returned UNKNOWN).
     seconds: float = 0.0
     tripped: int = 0
+    # How many of the covered checks had their answer independently
+    # certified (model check, proof check, or a trivially-false fast path).
+    certified: int = 0
 
     def copy(self) -> "CheckStats":
         return CheckStats(self.checks, self.conflicts, self.decisions,
                           self.propagations, self.learned,
                           self.encode_hits, self.encode_misses,
-                          self.seconds, self.tripped)
+                          self.seconds, self.tripped, self.certified)
 
     def __sub__(self, other: "CheckStats") -> "CheckStats":
         return CheckStats(
@@ -85,7 +101,8 @@ class CheckStats:
             self.encode_hits - other.encode_hits,
             self.encode_misses - other.encode_misses,
             self.seconds - other.seconds,
-            self.tripped - other.tripped)
+            self.tripped - other.tripped,
+            self.certified - other.certified)
 
     def __iadd__(self, other: "CheckStats") -> "CheckStats":
         self.checks += other.checks
@@ -97,6 +114,7 @@ class CheckStats:
         self.encode_misses += other.encode_misses
         self.seconds += other.seconds
         self.tripped += other.tripped
+        self.certified += other.certified
         return self
 
 
@@ -150,9 +168,21 @@ class SmtSolver:
     """Incremental satisfiability checks for boolean/bitvector formulas."""
 
     def __init__(self, max_conflicts: Optional[int] = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 certify: Optional[bool] = None):
         self.sat = SatSolver()
         self.sat.max_conflicts = max_conflicts
+        # Trust-but-verify mode: with `certify` (or REPRO_CERTIFY=1), the
+        # SAT layer logs a DRUP proof and every answer is independently
+        # re-checked — SAT models clause-by-clause and term-by-term, UNSAT
+        # answers by reverse unit propagation over the proof. The proof
+        # must be enabled *before* the bit-blaster exists: its constructor
+        # already emits the constant-true unit clause, which the checker
+        # needs among the inputs.
+        self.certify = _certify_default() if certify is None else bool(certify)
+        self.proof: Optional[ProofLog] = (
+            self.sat.enable_proof() if self.certify else None)
+        self.last_cert: Optional[str] = None
         self.blaster = BitBlaster(self.sat)
         self._assertions: List[T.Term] = []   # base (unscoped) assertions
         self._base_false = False              # base asserted constant FALSE
@@ -160,6 +190,8 @@ class SmtSolver:
         self._assumption_lits: Dict[T.Term, int] = {}
         self._last_core: List[T.Term] = []
         self._last_result: Optional[SmtResult] = None
+        self._last_assumption_terms: List[T.Term] = []
+        self._declared: Dict[T.Term, None] = {}
         # Statistics. The mark advances at the end of every check, so
         # encoding done while asserting between checks is attributed to
         # the next check that uses it.
@@ -280,12 +312,14 @@ class SmtSolver:
                           blaster.cache_hits, blaster.cache_misses)
 
     def _record_check(self, seconds: float = 0.0,
-                      tripped: bool = False) -> CheckStats:
+                      tripped: bool = False,
+                      certified: bool = False) -> CheckStats:
         now = self._stats_mark()
         delta = now - self._mark
         delta.checks = 1
         delta.seconds = seconds
         delta.tripped = 1 if tripped else 0
+        delta.certified = 1 if certified else 0
         self._mark = now
         self.last_check = delta
         self.cumulative += delta
@@ -316,7 +350,10 @@ class SmtSolver:
         """
         self._last_core = []
         self._last_result = None   # a check that raises reports "error"
+        self._last_assumption_terms = [t for t in assumptions
+                                       if t is not T.TRUE]
         self.last_report = None
+        self.last_cert = None
         started = time.perf_counter()
         tripped = False
         # `traced` is latched at entry so the begin/end pair stays balanced
@@ -335,6 +372,9 @@ class SmtSolver:
             # Fast path: a constant-false assertion makes the problem UNSAT
             # regardless of the assumptions, so the core of assumptions is [].
             if self._base_false or any(s.has_false for s in self._scopes):
+                # Nothing to certify: UNSAT is syntactically immediate.
+                if self.certify:
+                    self.last_cert = "trivial"
                 return self._finish(SmtResult.UNSAT)
             lits = []
             lit_to_term: Dict[int, T.Term] = {}
@@ -343,6 +383,8 @@ class SmtSolver:
                     if term is T.TRUE:
                         continue
                     if term is T.FALSE:
+                        if self.certify:
+                            self.last_cert = "trivial"
                         return self._finish(SmtResult.UNSAT, [term])
                     lit = self._assumption_lit(term)
                     lits.append(lit)
@@ -358,19 +400,24 @@ class SmtSolver:
             act_lits = [scope.act for scope in self._scopes]
             result = self.sat.solve(act_lits + lits)
             if result is SatResult.SAT:
+                if self.certify:
+                    self._certify_sat(act_lits + lits)
                 return self._finish(SmtResult.SAT)
             if result is SatResult.UNKNOWN:
                 tripped = True
                 self.last_report = self._search_report(started)
                 return self._finish(SmtResult.UNKNOWN)
             core_lits = self.sat.unsat_core()
+            if self.certify:
+                self._certify_unsat(core_lits)
             # Activation literals are implementation detail, not assumptions:
             # lit_to_term filters them out of the reported core.
             core = [lit_to_term[lit] for lit in core_lits
                     if lit in lit_to_term]
             return self._finish(SmtResult.UNSAT, core)
         finally:
-            delta = self._record_check(time.perf_counter() - started, tripped)
+            delta = self._record_check(time.perf_counter() - started, tripped,
+                                       certified=self.last_cert is not None)
             if traced:
                 result = self._last_result
                 BUS.end("smt.check", "smt",
@@ -383,7 +430,8 @@ class SmtSolver:
                         encode_hits=delta.encode_hits,
                         encode_misses=delta.encode_misses,
                         seconds=delta.seconds,
-                        tripped=delta.tripped)
+                        tripped=delta.tripped,
+                        certified=delta.certified)
 
     def _search_report(self, started: float) -> ResourceReport:
         """Describe a search-phase UNKNOWN (budget trip or conflict cap)."""
@@ -401,21 +449,123 @@ class SmtSolver:
             limits={"max_conflicts": self.sat.max_conflicts})
 
     # ------------------------------------------------------------------
+    # Certification (trust-but-verify)
+    # ------------------------------------------------------------------
+
+    def _certify_sat(self, assumption_lits: Sequence[int]) -> None:
+        """Certify a SAT answer at both the CNF and the term level.
+
+        The CNF check re-evaluates every input clause of the proof log
+        under the SAT model; the term-level check re-evaluates the original
+        (pre-bit-blast) assertions and assumption terms under the extracted
+        variable bindings. Both must pass — the second catches encoder bugs
+        the first cannot see, because a mis-encoded CNF is still genuinely
+        satisfied by its own model.
+        """
+        traced = BUS.enabled
+        if traced:
+            BUS.begin("cert.model", "cert")
+        ok = False
+        try:
+            check_model(self.proof, self.sat.model(), assumption_lits)
+            bindings = {var: self.blaster.model_value(var)
+                        for var in self.blaster.variables()}
+            self._certify_terms(bindings)
+            self.last_cert = "model"
+            ok = True
+        finally:
+            if traced:
+                BUS.end("cert.model", "cert", ok=ok)
+
+    def _certify_terms(self, bindings: Dict[T.Term, object]) -> None:
+        """Re-evaluate active assertions + last assumptions under bindings."""
+        targets = self.assertions() + self._last_assumption_terms
+        for term in targets:
+            env = dict(bindings)
+            for var in T.term_vars(term):
+                if var not in env:
+                    env[var] = False if var.sort is T.BOOL else 0
+            if T.evaluate(term, env) is not True:
+                raise CertificationError(
+                    "model", f"assertion evaluates false under the model: "
+                             f"{T.to_sexpr(term, max_depth=4)}")
+
+    def _certify_unsat(self, core_lits: Sequence[int]) -> None:
+        """Certify an UNSAT answer by replaying the DRUP proof.
+
+        Every learned clause must pass reverse unit propagation, and
+        propagating the final core literals (open-scope activation literals
+        plus failed assumptions) over the accumulated clause database must
+        yield a conflict.
+        """
+        traced = BUS.enabled
+        if traced:
+            BUS.begin("cert.proof", "cert", steps=len(self.proof.steps))
+        ok = False
+        try:
+            check_proof(self.proof, core=core_lits)
+            self.last_cert = "proof"
+            ok = True
+        finally:
+            if traced:
+                BUS.end("cert.proof", "cert", ok=ok,
+                        core=len(core_lits))
+
+    def certify_model(self, bindings: Optional[Dict[T.Term, object]] = None
+                      ) -> None:
+        """Re-evaluate the active assertions under a model's bindings.
+
+        With no argument, certifies the model of the last SAT answer
+        (useful after an uncertified check); with explicit bindings,
+        certifies those instead — the fault-injection harness uses this to
+        prove that corrupted models are rejected. Raises
+        :class:`CertificationError` on any assertion that does not
+        evaluate to true.
+        """
+        if bindings is None:
+            bindings = self.model().bindings()
+        self._certify_terms(dict(bindings))
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+
+    def declare(self, *variables: T.Term) -> None:
+        """Register variables that must appear in every model.
+
+        A variable that never reaches a CNF clause (asserted nowhere, or
+        only under simplified-away subterms) has no SAT counterpart, so a
+        bare :meth:`model` would omit it. Declared variables always get a
+        defined value (``False`` / ``0`` when unconstrained).
+        """
+        for var in variables:
+            if not var.is_var:
+                raise TypeError(f"declare() expects variable terms: {var!r}")
+            self._declared[var] = None
 
     def model(self, variables: Iterable[T.Term] = ()) -> Model:
         """Extract the satisfying assignment for the given variables.
 
-        With no explicit variable list, all variables that reached the
-        bit-blaster are reported.
+        With no explicit variable list, the model covers every variable
+        that reached the bit-blaster, every :meth:`declare`-d variable, and
+        every variable of the active assertions — so a variable the
+        encoder simplified away (or that was never constrained at all)
+        still gets a defined value instead of being silently absent.
         """
         if self._last_result is not SmtResult.SAT:
             raise RuntimeError("model() requires a previous SAT result")
         bindings: Dict[T.Term, object] = {}
         targets = list(variables)
         if not targets:
-            targets = self.blaster.variables()
+            seen: Dict[T.Term, None] = {}
+            for var in self.blaster.variables():
+                seen.setdefault(var, None)
+            for var in self._declared:
+                seen.setdefault(var, None)
+            for term in self.assertions():
+                for var in T.term_vars(term):
+                    seen.setdefault(var, None)
+            targets = list(seen)
         for var in targets:
             bindings[var] = self.blaster.model_value(var)
         return Model(bindings)
@@ -443,6 +593,13 @@ class SmtSolver:
         the loop stops and returns the smallest core established so far —
         still a correct unsat core, just not necessarily minimal.
         :attr:`last_report` says why minimization stopped early.
+
+        In certify mode the minimized core is re-proved before it is
+        returned: a *fresh* one-shot solver receives the proof log's input
+        clauses, solves under the returned core (plus open-scope
+        activation literals), and its own UNSAT proof is RUP-checked. A
+        minimizer bug that over-shrinks the core raises
+        :class:`CertificationError` instead of reporting a non-core.
         """
         current = list(self._last_core if core is None else core)
         saved_result = self._last_result
@@ -464,4 +621,21 @@ class SmtSolver:
         self._last_result = saved_result
         self._last_core = saved_core
         self.sat.restore_model(saved_model)
+        if self.certify:
+            self._certify_core(current)
         return current
+
+    def _certify_core(self, core: Sequence[T.Term]) -> None:
+        """Postcondition of :meth:`minimize_core`: re-prove the core unsat."""
+        lits = [scope.act for scope in self._scopes]
+        lits += [self._assumption_lit(term) for term in core]
+        traced = BUS.enabled
+        if traced:
+            BUS.begin("cert.core", "cert", size=len(core))
+        ok = False
+        try:
+            recheck_unsat(self.proof.input_clauses(), lits)
+            ok = True
+        finally:
+            if traced:
+                BUS.end("cert.core", "cert", ok=ok)

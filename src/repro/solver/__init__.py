@@ -8,7 +8,10 @@ A from-scratch CDCL SAT solver with:
 - Luby restarts and learned-clause database reduction,
 - solving under assumptions with final-conflict unsat cores,
 - deletion-based core minimization,
-- cooperative resource budgets and cancellation (:mod:`repro.solver.budget`).
+- cooperative resource budgets and cancellation (:mod:`repro.solver.budget`),
+- DRUP proof logging with an independent reverse-unit-propagation checker
+  and model/core certifiers (:mod:`repro.solver.certify`), exercised by a
+  seeded fault-injection harness (:mod:`repro.solver.chaos`).
 
 The paper uses Z3; this package is the drop-in satisfiability engine that
 the bitvector layer (:mod:`repro.smt`) bit-blasts into.
@@ -20,10 +23,20 @@ from repro.solver.budget import (
     CancellationToken,
     ResourceReport,
 )
+from repro.solver.certify import (
+    CertificationError,
+    ProofLog,
+    RupChecker,
+    check_model,
+    check_proof,
+    recheck_unsat,
+)
 from repro.solver.cnf import CNF, parse_dimacs, to_dimacs
 from repro.solver.sat import SatSolver, SatResult
 
 __all__ = [
     "Budget", "BudgetExhausted", "CancellationToken", "ResourceReport",
+    "CertificationError", "ProofLog", "RupChecker",
+    "check_model", "check_proof", "recheck_unsat",
     "CNF", "SatSolver", "SatResult", "parse_dimacs", "to_dimacs",
 ]

@@ -10,6 +10,13 @@ of assumptions used in the final conflict (an unsat core).
 Variables are integers ``1..n`` externally (DIMACS convention) and literals
 are signed ints. Internally literals are encoded as ``2*v`` (positive) and
 ``2*v + 1`` (negative) over zero-based variables, so negation is ``lit ^ 1``.
+
+With :meth:`SatSolver.enable_proof` the solver additionally emits a DRUP
+proof (original, learned, and deleted clauses) into a
+:class:`~repro.solver.certify.ProofLog`, which the independent checker in
+:mod:`repro.solver.certify` replays to certify UNSAT answers and against
+which SAT models are evaluated clause-by-clause. Logging off costs one
+attribute check per conflict; logging on costs one tuple per step.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.events import BUS
 from repro.solver.budget import Budget
+from repro.solver.certify import ProofLog
 
 # Cadence of `sat.conflicts` milestone events while tracing: one instant
 # every _CONFLICT_MILESTONE conflicts (power of two — the check is a mask).
@@ -118,6 +126,22 @@ class SatSolver:
         # then names the limit (see repro.solver.budget).
         self.budget: Optional[Budget] = None
         self.interrupt_reason: Optional[str] = None
+        # Certification: when a ProofLog is installed every original,
+        # learned, and deleted clause is recorded so UNSAT answers can be
+        # replayed by the independent RUP checker (repro.solver.certify).
+        self.proof: Optional[ProofLog] = None
+
+    def enable_proof(self, proof: Optional[ProofLog] = None) -> ProofLog:
+        """Start DRUP proof logging; returns the (possibly given) log.
+
+        Must be called before any clause is added: a proof that is missing
+        input clauses would make the checker reject valid answers.
+        """
+        if self._clauses or self._learnts or self._trail or not self._ok:
+            raise RuntimeError(
+                "enable_proof() must be called on a solver with no clauses")
+        self.proof = proof if proof is not None else ProofLog()
+        return self.proof
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -160,6 +184,8 @@ class SatSolver:
         Returns False if the solver is already in a toplevel-conflict state
         or the clause is trivially unsatisfiable at level 0.
         """
+        if self.proof is not None:
+            self.proof.input(ext_lits)
         if not self._ok:
             return False
         self._ensure_vars(ext_lits)
@@ -534,6 +560,9 @@ class SatSolver:
                 kept.append(clause)
             else:
                 self._detach(clause)
+                if self.proof is not None:
+                    self.proof.delete(
+                        [self._to_external(lit) for lit in clause.lits])
         self._learnts = kept
 
     def _detach(self, clause: _Clause) -> None:
@@ -639,6 +668,9 @@ class SatSolver:
                         return SatResult.UNKNOWN
                 learnt, bt_level = self._analyze(confl)
                 self.num_learned += 1
+                if self.proof is not None:
+                    self.proof.learn(
+                        [self._to_external(lit) for lit in learnt])
                 if budget is not None:
                     budget.charge_learned()
                 # Never backtrack past still-valid assumption decisions:

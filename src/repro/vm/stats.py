@@ -43,6 +43,7 @@ class EvalStats:
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
     budget_trips: int = 0
+    certified_checks: int = 0
     _union_base: tuple = field(default=(0, 0), repr=False)
     _max_base: int = field(default=0, repr=False)
     _start: float = field(default=0.0, repr=False)
@@ -83,9 +84,11 @@ class EvalStats:
         self.solver_learned += check.learned
         self.encode_cache_hits += check.encode_hits
         self.encode_cache_misses += check.encode_misses
-        # `tripped` arrived with resource budgets; older CheckStats-shaped
-        # objects may not carry it.
+        # `tripped` arrived with resource budgets and `certified` with the
+        # certification layer; older CheckStats-shaped objects may carry
+        # neither.
         self.budget_trips += getattr(check, "tripped", 0)
+        self.certified_checks += getattr(check, "certified", 0)
 
     def check_listener(self, event) -> None:
         """An event-bus sink accumulating ``smt.check`` span deltas.
@@ -106,6 +109,7 @@ class EvalStats:
         self.encode_cache_hits += args.get("encode_hits", 0)
         self.encode_cache_misses += args.get("encode_misses", 0)
         self.budget_trips += args.get("tripped", 0)
+        self.certified_checks += args.get("certified", 0)
 
     def row(self) -> dict:
         """A Table 4-shaped row."""
@@ -129,4 +133,5 @@ class EvalStats:
             "encode_hits": self.encode_cache_hits,
             "encode_misses": self.encode_cache_misses,
             "budget_trips": self.budget_trips,
+            "certified_checks": self.certified_checks,
         }
