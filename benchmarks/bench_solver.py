@@ -346,6 +346,89 @@ def test_certified_factoring_overhead(benchmark, certify_enabled):
     assert ratio < 3.0
 
 
+def test_sanitized_factoring(benchmark, sanitize_enabled):
+    """The factoring sweep through the formula sanitizer (``--sanitize``).
+
+    Two families, each solved with the abstract-interpretation pre-pass
+    off and on:
+
+    - *guarded*: every assertion arrives wrapped in statically-true
+      range guards (``(x & m) * (y & m) <= m*m``-shaped conjuncts, the
+      bounds-check residue sketch-generated formulas carry). The
+      interval domain proves each guard, so its masked-multiplier
+      circuit never reaches the bit-blaster and the CNF shrinks — the
+      row asserts ≥5% fewer clauses.
+    - *plain*: the unguarded sweep, where sanitizing must be a no-op —
+      the row asserts the clause count regresses by at most 2%.
+    """
+    def _guards(x, y, width):
+        # (x & m) * (y & m) <= m*m is an interval tautology, but its
+        # multiplier is real CNF work if it survives to the blaster.
+        return [T.mk_ule(T.mk_mul(T.mk_bvand(x, T.bv_const(mask, width)),
+                                  T.mk_bvand(y, T.bv_const(mask, width))),
+                         T.bv_const(mask * mask, width))
+                for mask in (0x3F, 0x1F)]
+
+    def _sweep(analyze, guarded, prefix):
+        started = time.perf_counter()
+        x = T.bv_var(f"{prefix}_x", WIDTH)
+        y = T.bv_var(f"{prefix}_y", WIDTH)
+        sats = clauses = rewrites = 0
+        for target in FACTOR_TARGETS:
+            solver = SmtSolver(analyze=analyze)
+            payload = [
+                T.mk_eq(T.mk_mul(x, y), T.bv_const(target, WIDTH)),
+                T.mk_ult(T.bv_const(1, WIDTH), x),
+                T.mk_ult(T.bv_const(1, WIDTH), y),
+            ]
+            for term in payload:
+                if guarded:
+                    for guard in _guards(x, y, WIDTH):
+                        term = T.mk_and(guard, term)
+                solver.add_assertion(term)
+            if solver.check() is SmtResult.SAT:
+                sats += 1
+            clauses += solver.sat.num_clauses
+            rewrites += solver.sanitize_stats.rewrites
+        return time.perf_counter() - started, sats, clauses, rewrites
+
+    def run():
+        results = {}
+        for family, guarded in (("guarded", True), ("plain", False)):
+            for analyze in (False, True):
+                key = f"{family}_{'on' if analyze else 'off'}"
+                results[key] = _sweep(analyze, guarded,
+                                      f"san_{key}")
+        for key in ("guarded_off", "plain_off", "plain_on"):
+            assert results[key][3] == 0  # rewrites only with analyze=True
+        reduction = 1 - results["guarded_on"][2] / results["guarded_off"][2]
+        plain_ratio = results["plain_on"][2] / results["plain_off"][2]
+        print(f"\nsanitized factoring: guarded clauses "
+              f"{results['guarded_off'][2]} -> {results['guarded_on'][2]} "
+              f"({reduction:.1%} fewer, "
+              f"{results['guarded_on'][3]} rewrites), "
+              f"plain clause ratio {plain_ratio:.3f}")
+        _record_row("sanitized_factoring", results["guarded_on"][0],
+                    queries=len(FACTOR_TARGETS),
+                    baseline_seconds=results["guarded_off"][0],
+                    clauses_guarded_plain=results["guarded_off"][2],
+                    clauses_guarded_sanitized=results["guarded_on"][2],
+                    clause_reduction=reduction,
+                    sanitize_rewrites=results["guarded_on"][3],
+                    clauses_plain_family_off=results["plain_off"][2],
+                    clauses_plain_family_on=results["plain_on"][2],
+                    plain_clause_ratio=plain_ratio)
+        for key, (_, sats, _, _) in results.items():
+            assert sats == len(FACTOR_TARGETS), key
+        return reduction, plain_ratio
+
+    reduction, plain_ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The acceptance bar: the sanitizer must actually shrink the guarded
+    # family and must not bloat the family it cannot improve.
+    assert reduction >= 0.05
+    assert plain_ratio <= 1.02
+
+
 def test_cegis_synthesis_loop(benchmark):
     """A multi-iteration CEGIS run on persistent solvers.
 

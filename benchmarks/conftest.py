@@ -28,12 +28,25 @@ def pytest_addoption(parser):
         help="include the trust-but-verify rows: the factoring sweep is "
              "re-run with certification on and the overhead ratio lands "
              "in BENCH_solver.json")
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="include the formula-sanitizer rows: the guarded factoring "
+             "family is run with the abstract-interpretation pre-pass off "
+             "and on, and the CNF-clause reduction lands in "
+             "BENCH_solver.json")
 
 
 @pytest.fixture
 def certify_enabled(request):
     if not request.config.getoption("--certify"):
         pytest.skip("pass --certify to include the certification rows")
+    return True
+
+
+@pytest.fixture
+def sanitize_enabled(request):
+    if not request.config.getoption("--sanitize"):
+        pytest.skip("pass --sanitize to include the sanitizer rows")
     return True
 
 

@@ -1,0 +1,64 @@
+"""Static analysis for the SVM: abstract interpretation and `symlint`.
+
+Two cooperating layers sharing one dataflow core:
+
+- **Layer 1 — term-DAG abstract interpretation** (:mod:`domains`,
+  :mod:`absint`, :mod:`sanitize`): a reduced-product fixpoint engine over
+  :mod:`repro.smt.terms` with *known-bits* and *unsigned-interval*
+  domains. It powers :func:`sanitize`, the pre-solver formula pass that
+  rewrites provably-constant subterms, narrows statically-decided ``ite``
+  chains, and flags provably-false assertions before any SAT work — the
+  LART-style "analyse and transform before symbolic computation" layer.
+- **Layer 2 — symlint** (:mod:`lint`): a rule-based diagnostics engine
+  over HL ASTs and SynthCL kernels with structured
+  :class:`~repro.analysis.lint.Diagnostic` records carrying source spans,
+  plus a ``python -m repro.analysis.lint`` CLI. The static data-race
+  pre-detector for SynthCL (:mod:`races`) reuses Layer 1 to discharge
+  disjoint-write obligations without the solver.
+
+Everything here is *advisory or equivalence-preserving*: the sanitizer
+only applies rewrites the abstract semantics proves valid for every
+assignment, and in certify mode each rewrite is additionally cross-checked
+on concretizations (trust-but-verify, like :mod:`repro.solver.certify`).
+"""
+
+from repro.analysis.absint import AbstractError, analyze_term, bool3_of, value_of
+from repro.analysis.domains import (
+    BFALSE,
+    BTOP,
+    BTRUE,
+    AbsVal,
+    Interval,
+    KnownBits,
+)
+from repro.analysis.sanitize import SanitizeStats, sanitize, sanitize_assertion
+
+# Layer 2 lives *above* the language layers it inspects (lint imports the
+# HL reader; races imports repro.sym), while this package is imported
+# from *inside* repro.smt.solver — so the Layer-2 names resolve lazily.
+_LAYER2 = {
+    "Diagnostic": "lint", "lint_file": "lint", "lint_hl_source": "lint",
+    "lint_paths": "lint", "lint_python_source": "lint",
+    "RaceCheck": "races", "RaceReport": "races", "classify_launch": "races",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAYER2.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+__all__ = [
+    "AbsVal", "KnownBits", "Interval", "BTRUE", "BFALSE", "BTOP",
+    "AbstractError", "analyze_term", "bool3_of", "value_of",
+    "SanitizeStats", "sanitize", "sanitize_assertion",
+    "Diagnostic", "lint_file", "lint_hl_source", "lint_paths",
+    "lint_python_source",
+    "RaceCheck", "RaceReport", "classify_launch",
+]

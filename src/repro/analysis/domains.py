@@ -1,0 +1,600 @@
+"""Abstract domains for bitvector terms: known-bits and unsigned intervals.
+
+Two classic numeric domains over fixed-width unsigned bitvectors, plus the
+three-valued boolean domain that comparison transfer functions produce:
+
+- :class:`KnownBits` — per-bit certainty: a mask of bits known to be 0 and
+  a mask of bits known to be 1 (LLVM's ``KnownBits``, Miné's bitfield
+  domain). Precise for the bitwise operators, shifts by constants, and
+  low bits of addition.
+- :class:`Interval` — an unsigned range ``[lo, hi]`` with no wraparound
+  representation: an operation that may wrap widens to ``⊤`` unless every
+  concrete result wraps uniformly. Precise for comparisons and bounded
+  arithmetic — exactly the "bounds guard" shapes the SVM emits.
+- ``BTRUE`` / ``BFALSE`` / ``BTOP`` — the flat boolean domain.
+
+Soundness contract (property-tested exhaustively for small widths in
+``tests/analysis/test_domains.py``): for every transfer function and every
+pair of abstract inputs, the abstract result *contains* the concrete
+result of the operation on every pair of concrete values drawn from the
+inputs' concretizations. The domains never produce ⊥: every term has a
+concrete value under every assignment, so an empty abstraction could only
+arise from a transfer-function bug (see :func:`chaos_wrong_transfer`,
+which injects exactly that for the fault-injection harness).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+
+class _Bool3:
+    """One point of the flat boolean lattice (module-level singletons)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+BTRUE = _Bool3("BTRUE")
+BFALSE = _Bool3("BFALSE")
+BTOP = _Bool3("BTOP")
+
+
+def bool3(value: Optional[bool]) -> _Bool3:
+    if value is None:
+        return BTOP
+    return BTRUE if value else BFALSE
+
+
+def b3_not(a: _Bool3) -> _Bool3:
+    if a is BTRUE:
+        return BFALSE
+    if a is BFALSE:
+        return BTRUE
+    return BTOP
+
+
+def b3_and(*args: _Bool3) -> _Bool3:
+    if any(a is BFALSE for a in args):
+        return BFALSE
+    if all(a is BTRUE for a in args):
+        return BTRUE
+    return BTOP
+
+
+def b3_or(*args: _Bool3) -> _Bool3:
+    if any(a is BTRUE for a in args):
+        return BTRUE
+    if all(a is BFALSE for a in args):
+        return BFALSE
+    return BTOP
+
+
+def b3_xor(a: _Bool3, b: _Bool3) -> _Bool3:
+    if a is BTOP or b is BTOP:
+        return BTOP
+    return bool3((a is BTRUE) != (b is BTRUE))
+
+
+def b3_join(a: _Bool3, b: _Bool3) -> _Bool3:
+    return a if a is b else BTOP
+
+
+# ---------------------------------------------------------------------------
+# Known bits
+# ---------------------------------------------------------------------------
+
+class KnownBits:
+    """Per-bit knowledge: `zeros` bits are certainly 0, `ones` certainly 1.
+
+    Invariant: ``zeros & ones == 0`` and both fit in `width` bits. A fully
+    known value has ``zeros | ones == mask``.
+    """
+
+    __slots__ = ("zeros", "ones", "width")
+
+    def __init__(self, zeros: int, ones: int, width: int):
+        if zeros & ones:
+            raise ValueError("contradictory known bits (zeros & ones != 0)")
+        self.zeros = zeros
+        self.ones = ones
+        self.width = width
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def top(width: int) -> "KnownBits":
+        return KnownBits(0, 0, width)
+
+    @staticmethod
+    def const(value: int, width: int) -> "KnownBits":
+        mask = (1 << width) - 1
+        value &= mask
+        return KnownBits(mask & ~value, value, width)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def unknown(self) -> int:
+        return self.mask & ~(self.zeros | self.ones)
+
+    def is_const(self) -> bool:
+        return (self.zeros | self.ones) == self.mask
+
+    def value(self) -> int:
+        """The constant value (only meaningful when :meth:`is_const`)."""
+        return self.ones
+
+    def min_value(self) -> int:
+        return self.ones
+
+    def max_value(self) -> int:
+        return self.ones | self.unknown
+
+    def contains(self, value: int) -> bool:
+        return (value & self.zeros) == 0 and \
+            (value & self.ones) == self.ones
+
+    def trailing_known(self) -> int:
+        """Number of contiguous fully-known bits from the LSB."""
+        known = self.zeros | self.ones
+        count = 0
+        while count < self.width and (known >> count) & 1:
+            count += 1
+        return count
+
+    def trailing_zeros(self) -> int:
+        """Number of contiguous known-zero bits from the LSB."""
+        count = 0
+        while count < self.width and (self.zeros >> count) & 1:
+            count += 1
+        return count
+
+    def leading_zeros(self) -> int:
+        """Number of contiguous known-zero bits from the MSB."""
+        count = 0
+        while count < self.width and \
+                (self.zeros >> (self.width - 1 - count)) & 1:
+            count += 1
+        return count
+
+    def join(self, other: "KnownBits") -> "KnownBits":
+        return KnownBits(self.zeros & other.zeros, self.ones & other.ones,
+                         self.width)
+
+    def meet_masks(self, zeros: int, ones: int) -> "KnownBits":
+        """Add knowledge from a second sound analysis of the same value."""
+        return KnownBits(self.zeros | zeros, self.ones | ones, self.width)
+
+    def trit(self, bit: int) -> Optional[int]:
+        """Bit `bit` as 0, 1, or None (unknown)."""
+        probe = 1 << bit
+        if self.zeros & probe:
+            return 0
+        if self.ones & probe:
+            return 1
+        return None
+
+    def concretizations(self) -> Iterator[int]:
+        """Every concrete value this abstraction contains (small widths)."""
+        free = [bit for bit in range(self.width) if self.trit(bit) is None]
+        for selector in range(1 << len(free)):
+            value = self.ones
+            for index, bit in enumerate(free):
+                if (selector >> index) & 1:
+                    value |= 1 << bit
+            yield value
+
+    def __repr__(self) -> str:
+        digits = []
+        for bit in reversed(range(self.width)):
+            trit = self.trit(bit)
+            digits.append("?" if trit is None else str(trit))
+        return f"KnownBits({''.join(digits)})"
+
+    # -- transfer functions -------------------------------------------
+
+    def not_(self) -> "KnownBits":
+        return KnownBits(self.ones, self.zeros, self.width)
+
+    def and_(self, other: "KnownBits") -> "KnownBits":
+        return KnownBits(self.zeros | other.zeros, self.ones & other.ones,
+                         self.width)
+
+    def or_(self, other: "KnownBits") -> "KnownBits":
+        return KnownBits(self.zeros & other.zeros, self.ones | other.ones,
+                         self.width)
+
+    def xor_(self, other: "KnownBits") -> "KnownBits":
+        ones = (self.ones & other.zeros) | (self.zeros & other.ones)
+        zeros = (self.ones & other.ones) | (self.zeros & other.zeros)
+        return KnownBits(zeros, ones, self.width)
+
+    def add(self, other: "KnownBits", carry_in: Optional[int] = 0,
+            negate_other: bool = False) -> "KnownBits":
+        """Ripple addition in three-valued logic, bit by bit.
+
+        With ``negate_other`` the second operand is complemented, which
+        together with ``carry_in=1`` implements subtraction.
+        """
+        rhs = other.not_() if negate_other else other
+        carry: Optional[int] = carry_in
+        zeros = ones = 0
+        for bit in range(self.width):
+            a, b, c = self.trit(bit), rhs.trit(bit), carry
+            trits = (a, b, c)
+            if None not in trits:
+                total = a + b + c
+                if total & 1:
+                    ones |= 1 << bit
+                else:
+                    zeros |= 1 << bit
+                carry = total >> 1
+            else:
+                known = [t for t in trits if t is not None]
+                # The sum bit is unknown; the carry may still be known
+                # when two of the three inputs agree (majority function).
+                if known.count(1) >= 2:
+                    carry = 1
+                elif known.count(0) >= 2:
+                    carry = 0
+                else:
+                    carry = None
+        return KnownBits(zeros, ones, self.width)
+
+    def sub(self, other: "KnownBits") -> "KnownBits":
+        return self.add(other, carry_in=1, negate_other=True)
+
+    def neg(self) -> "KnownBits":
+        return KnownBits.const(0, self.width).sub(self)
+
+    def mul(self, other: "KnownBits") -> "KnownBits":
+        """Low known bits + trailing-zero accumulation.
+
+        Product bit *i* depends only on operand bits ``0..i``, so when the
+        low *k* bits of both operands are known the low *k* bits of the
+        product are too. Independently, trailing zeros add.
+        """
+        width = self.width
+        low = min(self.trailing_known(), other.trailing_known())
+        zeros = ones = 0
+        if low:
+            lowmask = (1 << low) - 1
+            product = ((self.ones & lowmask) * (other.ones & lowmask)) \
+                & lowmask
+            ones = product
+            zeros = lowmask & ~product
+        tz = min(width, self.trailing_zeros() + other.trailing_zeros())
+        if tz:
+            zeros |= (1 << tz) - 1
+        return KnownBits(zeros & ~ones, ones, width)
+
+    def shl_const(self, amount: int) -> "KnownBits":
+        width = self.width
+        mask = self.mask
+        if amount >= width:
+            return KnownBits.const(0, width)
+        zeros = ((self.zeros << amount) | ((1 << amount) - 1)) & mask
+        ones = (self.ones << amount) & mask
+        return KnownBits(zeros, ones, width)
+
+    def lshr_const(self, amount: int) -> "KnownBits":
+        width = self.width
+        if amount >= width:
+            return KnownBits.const(0, width)
+        high = ((1 << amount) - 1) << (width - amount) if amount else 0
+        zeros = (self.zeros >> amount) | high
+        ones = self.ones >> amount
+        return KnownBits(zeros, ones, width)
+
+    def ashr_const(self, amount: int) -> "KnownBits":
+        width = self.width
+        amount = min(amount, width - 1)
+        sign = self.trit(width - 1)
+        zeros = self.zeros >> amount
+        ones = self.ones >> amount
+        high = ((1 << amount) - 1) << (width - amount) if amount else 0
+        if sign == 0:
+            zeros |= high
+        elif sign == 1:
+            ones |= high
+        return KnownBits(zeros & ~ones, ones, width)
+
+
+# ---------------------------------------------------------------------------
+# Unsigned intervals
+# ---------------------------------------------------------------------------
+
+class Interval:
+    """An unsigned range ``[lo, hi]``, ``0 <= lo <= hi <= 2^width - 1``.
+
+    No wrapped (``lo > hi``) representation: transfer functions widen to
+    ``⊤`` unless the result provably does not wrap — or wraps uniformly,
+    in which case the shifted range is still contiguous.
+    """
+
+    __slots__ = ("lo", "hi", "width")
+
+    def __init__(self, lo: int, hi: int, width: int):
+        if not 0 <= lo <= hi <= (1 << width) - 1:
+            raise ValueError(f"bad interval [{lo}, {hi}] at width {width}")
+        self.lo = lo
+        self.hi = hi
+        self.width = width
+
+    @staticmethod
+    def top(width: int) -> "Interval":
+        return Interval(0, (1 << width) - 1, width)
+
+    @staticmethod
+    def const(value: int, width: int) -> "Interval":
+        value &= (1 << width) - 1
+        return Interval(value, value, width)
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == self.mask
+
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def value(self) -> int:
+        return self.lo
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi),
+                        self.width)
+
+    def __repr__(self) -> str:
+        return f"Interval([{self.lo}, {self.hi}], w={self.width})"
+
+    # -- transfer functions -------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        size = 1 << self.width
+        lo, hi = self.lo + other.lo, self.hi + other.hi
+        if hi < size:
+            return Interval(lo, hi, self.width)
+        if lo >= size:
+            # Every sum wraps exactly once; the range stays contiguous.
+            return Interval(lo - size, hi - size, self.width)
+        return Interval.top(self.width)
+
+    def sub(self, other: "Interval") -> "Interval":
+        size = 1 << self.width
+        lo, hi = self.lo - other.hi, self.hi - other.lo
+        if lo >= 0:
+            return Interval(lo, hi, self.width)
+        if hi < 0:
+            return Interval(lo + size, hi + size, self.width)
+        return Interval.top(self.width)
+
+    def neg(self) -> "Interval":
+        size = 1 << self.width
+        if self.hi == 0:
+            return self
+        if self.lo > 0:
+            return Interval(size - self.hi, size - self.lo, self.width)
+        return Interval.top(self.width)
+
+    def mul(self, other: "Interval") -> "Interval":
+        hi = self.hi * other.hi
+        if hi <= self.mask:
+            return Interval(self.lo * other.lo, hi, self.width)
+        return Interval.top(self.width)
+
+    def udiv(self, other: "Interval") -> "Interval":
+        # SMT-LIB: x udiv 0 = all-ones.
+        if other.hi == 0:
+            return Interval.const(self.mask, self.width)
+        lo = self.lo // other.hi
+        if other.lo >= 1:
+            return Interval(lo, self.hi // other.lo, self.width)
+        # The divisor may be zero: the all-ones result joins the range.
+        return Interval(lo, self.mask, self.width)
+
+    def urem(self, other: "Interval") -> "Interval":
+        # x urem 0 = x, and x urem y <= min(x, y-1) for y >= 1; either
+        # way the result never exceeds x.
+        if other.lo >= 1:
+            return Interval(0, min(self.hi, other.hi - 1), self.width)
+        return Interval(0, self.hi, self.width)
+
+    def shl(self, other: "Interval") -> "Interval":
+        if other.hi >= self.width:
+            return Interval.top(self.width)
+        hi = self.hi << other.hi
+        if hi <= self.mask:
+            return Interval(self.lo << other.lo, hi, self.width)
+        return Interval.top(self.width)
+
+    def lshr(self, other: "Interval") -> "Interval":
+        # Shifts >= width yield 0 (matching mk_lshr's fold).
+        lo = 0 if other.hi >= self.width else self.lo >> other.hi
+        hi = 0 if other.lo >= self.width else self.hi >> other.lo
+        return Interval(lo, hi, self.width)
+
+    def ashr(self, other: "Interval") -> "Interval":
+        sign_bit = 1 << (self.width - 1)
+        if self.hi < sign_bit:  # provably non-negative: behaves like lshr
+            top = min(other.hi, self.width - 1)
+            return Interval(self.lo >> top, self.hi >> other.lo, self.width)
+        return Interval.top(self.width)
+
+    def bvand(self, other: "Interval") -> "Interval":
+        return Interval(0, min(self.hi, other.hi), self.width)
+
+    def bvor(self, other: "Interval") -> "Interval":
+        bits = max(self.hi.bit_length(), other.hi.bit_length())
+        return Interval(max(self.lo, other.lo),
+                        min(self.mask, (1 << bits) - 1), self.width)
+
+    def bvxor(self, other: "Interval") -> "Interval":
+        bits = max(self.hi.bit_length(), other.hi.bit_length())
+        return Interval(0, min(self.mask, (1 << bits) - 1), self.width)
+
+    def bvnot(self) -> "Interval":
+        return Interval(self.mask - self.hi, self.mask - self.lo, self.width)
+
+    # -- comparisons ---------------------------------------------------
+
+    def ult(self, other: "Interval") -> _Bool3:
+        if self.hi < other.lo:
+            return BTRUE
+        if self.lo >= other.hi:
+            return BFALSE
+        return BTOP
+
+    def ule(self, other: "Interval") -> _Bool3:
+        if self.hi <= other.lo:
+            return BTRUE
+        if self.lo > other.hi:
+            return BFALSE
+        return BTOP
+
+    def _signed_parts(self) -> Optional[Tuple[int, int]]:
+        """Signed bounds when the range does not straddle the sign flip."""
+        sign_bit = 1 << (self.width - 1)
+        if self.hi < sign_bit:       # entirely non-negative
+            return self.lo, self.hi
+        if self.lo >= sign_bit:      # entirely negative
+            size = 1 << self.width
+            return self.lo - size, self.hi - size
+        return None
+
+    def slt(self, other: "Interval") -> _Bool3:
+        a, b = self._signed_parts(), other._signed_parts()
+        if a is None or b is None:
+            return BTOP
+        if a[1] < b[0]:
+            return BTRUE
+        if a[0] >= b[1]:
+            return BFALSE
+        return BTOP
+
+    def sle(self, other: "Interval") -> _Bool3:
+        a, b = self._signed_parts(), other._signed_parts()
+        if a is None or b is None:
+            return BTOP
+        if a[1] <= b[0]:
+            return BTRUE
+        if a[0] > b[1]:
+            return BFALSE
+        return BTOP
+
+
+# ---------------------------------------------------------------------------
+# The reduced product
+# ---------------------------------------------------------------------------
+
+class AbsVal:
+    """A bitvector's abstraction: known bits × interval, mutually reduced.
+
+    :meth:`reduce` iterates the classic exchange to a fixpoint: known high
+    zeros tighten the interval, interval bounds below a power of two pin
+    high bits to zero, and a singleton in either domain makes both exact.
+    """
+
+    __slots__ = ("bits", "rng")
+
+    def __init__(self, bits: KnownBits, rng: Interval):
+        self.bits = bits
+        self.rng = rng
+
+    @staticmethod
+    def top(width: int) -> "AbsVal":
+        return AbsVal(KnownBits.top(width), Interval.top(width))
+
+    @staticmethod
+    def const(value: int, width: int) -> "AbsVal":
+        return AbsVal(KnownBits.const(value, width),
+                      Interval.const(value, width))
+
+    @property
+    def width(self) -> int:
+        return self.bits.width
+
+    def is_const(self) -> bool:
+        return self.bits.is_const() or self.rng.is_const()
+
+    def value(self) -> int:
+        return self.bits.value() if self.bits.is_const() else self.rng.value()
+
+    def contains(self, value: int) -> bool:
+        return self.bits.contains(value) and self.rng.contains(value)
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        return AbsVal(self.bits.join(other.bits), self.rng.join(other.rng))
+
+    def reduce(self) -> "AbsVal":
+        bits, rng = self.bits, self.rng
+        for _ in range(2 * self.width + 2):  # strictly-monotone: terminates
+            new_lo = max(rng.lo, bits.min_value())
+            new_hi = min(rng.hi, bits.max_value())
+            if new_lo > new_hi:
+                # Only reachable through an unsound transfer function (the
+                # chaos harness does this on purpose); keep the interval
+                # rather than fabricating an empty one.
+                new_lo, new_hi = rng.lo, rng.hi
+            changed = (new_lo, new_hi) != (rng.lo, rng.hi)
+            rng = Interval(new_lo, new_hi, rng.width)
+            # High bits above the interval's magnitude are zero.
+            zeros = bits.mask & ~((1 << rng.hi.bit_length()) - 1)
+            if rng.is_const():
+                value = rng.value()
+                const_zeros = bits.mask & ~value
+                if bits.ones & const_zeros or bits.zeros & value:
+                    new_bits = bits  # contradiction: only an unsound
+                    # transfer (chaos) gets here; don't make it worse.
+                else:
+                    new_bits = KnownBits(const_zeros, value, bits.width)
+            else:
+                new_bits = bits.meet_masks(zeros & ~bits.ones, 0)
+            changed = changed or new_bits.zeros != bits.zeros or \
+                new_bits.ones != bits.ones
+            bits = new_bits
+            if not changed:
+                break
+        return AbsVal(bits, rng)
+
+    def __repr__(self) -> str:
+        return f"AbsVal({self.bits!r}, {self.rng!r})"
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (chaos harness hook)
+# ---------------------------------------------------------------------------
+
+#: When set to an operator name (e.g. ``"bvadd"``), the abstract
+#: interpreter returns a deliberately *wrong* singleton for every term
+#: with that operator. The certify-mode sanitizer cross-check must catch
+#: the bogus rewrite this produces — see ``repro.solver.chaos``.
+CHAOS_WRONG_OP: Optional[str] = None
+
+
+@contextmanager
+def chaos_wrong_transfer(op: str):
+    """Scoped injection of a wrong transfer function for `op`."""
+    global CHAOS_WRONG_OP
+    previous = CHAOS_WRONG_OP
+    CHAOS_WRONG_OP = op
+    try:
+        yield
+    finally:
+        CHAOS_WRONG_OP = previous

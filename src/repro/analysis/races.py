@@ -1,0 +1,158 @@
+"""Static data-race pre-detector for SYNTHCL kernel launches.
+
+The dynamic machinery in :class:`repro.sdsl.synthcl.runtime.CLRuntime`
+emits one solver obligation per (write, access) pair of distinct work
+items touching the same buffer. Most of those pairs are trivially
+disjoint — work item *g* writing cell *g* never collides with work item
+*g'* writing cell *g'* — and asserting them just bloats every later
+query with tautologies.
+
+This module classifies each pairwise obligation *before* anything is
+asserted, cheapest evidence first:
+
+1. **concrete** — both indices are Python ints (or fold to constants
+   through ``ops.num_eq``): compare them.
+2. **linear** — the equality survives as a term, but the *difference* of
+   the two index terms folds to a constant through the term layer's
+   linear normal form (``i+2`` vs ``i+5`` → ``3`` → disjoint), a
+   relational fact the non-relational domains cannot see.
+3. **abstract** — the equality's three-valued verdict under the
+   known-bits × interval analysis (:func:`repro.analysis.absint.bool3_of`)
+   decides it (e.g. an even-index writer vs an odd-index writer).
+4. **dynamic** — none of the above: fall back to the existing machinery
+   (a path-guarded assertion, solved like any other).
+
+Verdicts are sound in both directions: ``disjoint`` means *no*
+assignment collides (the obligation is discharged with zero solver
+work), ``overlap`` means *every* assignment collides (a definite race).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.events import BUS
+from repro.smt import terms as T
+from repro.sym import ops
+from repro.sym.values import bool_term
+from repro.analysis.absint import bool3_of
+from repro.analysis.domains import BFALSE, BTRUE
+
+#: Pairwise verdicts.
+DISJOINT = "disjoint"
+OVERLAP = "overlap"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class RaceCheck:
+    """One pairwise write-vs-access obligation and its static verdict."""
+
+    buffer: str
+    item_a: int
+    item_b: int
+    verdict: str            #: DISJOINT | OVERLAP | UNKNOWN
+    reason: str             #: "concrete" | "fold" | "linear" | "abstract"
+    #                          | "dynamic"
+
+    def row(self) -> dict:
+        return {"buffer": self.buffer, "items": (self.item_a, self.item_b),
+                "verdict": self.verdict, "reason": self.reason}
+
+
+@dataclass
+class RaceReport:
+    """Classification summary for one kernel launch."""
+
+    checks: List[RaceCheck] = field(default_factory=list)
+
+    @property
+    def pairs(self) -> int:
+        return len(self.checks)
+
+    @property
+    def discharged(self) -> int:
+        """Obligations proven disjoint statically — zero solver work."""
+        return sum(1 for c in self.checks if c.verdict == DISJOINT)
+
+    @property
+    def overlaps(self) -> int:
+        return sum(1 for c in self.checks if c.verdict == OVERLAP)
+
+    @property
+    def residual(self) -> int:
+        """Obligations left to the dynamic (solver-backed) machinery."""
+        return sum(1 for c in self.checks if c.verdict == UNKNOWN)
+
+    def first_overlap(self) -> Optional[RaceCheck]:
+        for check in self.checks:
+            if check.verdict == OVERLAP:
+                return check
+        return None
+
+    def row(self) -> dict:
+        return {"pairs": self.pairs, "discharged": self.discharged,
+                "overlaps": self.overlaps, "residual": self.residual}
+
+
+def classify_index_pair(idx_a, idx_b) -> Tuple[str, str]:
+    """Statically compare two buffer indices: (verdict, evidence tier).
+
+    Accepts Python ints and :class:`~repro.sym.values.SymInt` values —
+    the same domain the dynamic race assertions handle.
+    """
+    equal = ops.num_eq(idx_a, idx_b)
+    if isinstance(equal, bool):
+        return (OVERLAP if equal else DISJOINT), "concrete"
+    term = bool_term(equal)
+    if term is T.TRUE:
+        return OVERLAP, "fold"
+    if term is T.FALSE:
+        return DISJOINT, "fold"
+    if term.op == T.OP_EQ and term.args[0].sort is T.BV:
+        # The linear normal form of the difference folds syntactically
+        # related indices (i+2 vs i+5) that both abstract to ⊤.
+        diff = T.mk_sub(term.args[0], term.args[1])
+        if diff.is_const:
+            verdict = OVERLAP if diff.const_value() == 0 else DISJOINT
+            return verdict, "linear"
+    verdict = bool3_of(term)
+    if verdict is BFALSE:
+        return DISJOINT, "abstract"
+    if verdict is BTRUE:
+        return OVERLAP, "abstract"
+    return UNKNOWN, "dynamic"
+
+
+def classify_launch(items) -> Tuple[RaceReport, List[Tuple[RaceCheck, object]]]:
+    """Classify every pairwise obligation of a finished launch.
+
+    `items` are the launch's :class:`WorkItemContext`\\ s (duck-typed:
+    ``global_id`` and an ``accesses`` log of ``(buffer, index,
+    is_write)``). Returns the report plus the *residual* obligations —
+    ``(check, distinct_condition)`` pairs the caller must still assert —
+    where ``distinct_condition`` is the symbolic ``idx_a != idx_b``.
+    """
+    report = RaceReport()
+    residual: List[Tuple[RaceCheck, object]] = []
+    for i, item_a in enumerate(items):
+        writes_a = [(buf, idx) for buf, idx, is_write in item_a.accesses
+                    if is_write]
+        if not writes_a:
+            continue
+        for item_b in items[i + 1:]:
+            for buf_a, idx_a in writes_a:
+                for buf_b, idx_b, _ in item_b.accesses:
+                    if buf_a != buf_b:
+                        continue
+                    verdict, reason = classify_index_pair(idx_a, idx_b)
+                    check = RaceCheck(buf_a, item_a.global_id,
+                                      item_b.global_id, verdict, reason)
+                    report.checks.append(check)
+                    if verdict == UNKNOWN:
+                        residual.append(
+                            (check, ops.not_(ops.num_eq(idx_a, idx_b))))
+    if BUS.enabled:
+        BUS.instant("analysis.race", "analysis", **report.row())
+    return report, residual

@@ -26,7 +26,7 @@ from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.lang.expander import MacroExpander
-from repro.lang.reader import Symbol, read_all, write_form
+from repro.lang.reader import Span, Symbol, read_all_spanned, write_form
 from repro.obs import tracing
 from repro.obs.events import BUS
 from repro.queries.debug import DebugSession, relax
@@ -44,7 +44,24 @@ from repro.vm.mutable import Vector, box_get, box_set
 
 
 class LangError(SvmError):
-    """A malformed HL program or a runtime error outside assertion failure."""
+    """A malformed HL program or a runtime error outside assertion failure.
+
+    When the error escapes :meth:`Interpreter.run`, the span of the
+    top-level form being evaluated is attached (:attr:`span`) and its
+    ``file:line:col`` label is prefixed to the message — deeper positions
+    are the linter's job (:mod:`repro.analysis.lint`), but the top-level
+    form is always known here.
+    """
+
+    span: "Span | None" = None
+
+    def locate(self, span: "Span | None") -> None:
+        """Attach `span` (first location wins; later frames keep it)."""
+        if span is None or self.span is not None:
+            return
+        self.span = span
+        if self.args:
+            self.args = (f"{span.label()}: {self.args[0]}",) + self.args[1:]
 
 
 class _StatusCell:
@@ -166,14 +183,27 @@ class Interpreter:
     # Program entry points
     # ------------------------------------------------------------------
 
-    def run(self, source: str) -> List[object]:
-        """Expand and evaluate all forms; returns each form's value."""
+    def run(self, source: str,
+            filename: Optional[str] = None) -> List[object]:
+        """Expand and evaluate all forms; returns each form's value.
+
+        `filename` labels source positions in error messages (parse
+        errors and located :class:`LangError` instances); the default
+        label is ``<string>``.
+        """
         results = []
-        for form in read_all(source):
-            expanded = self.expander.expand(form)
-            if expanded is None:  # a define-syntax, consumed by the expander
-                continue
-            results.append(self.eval(expanded, self.globals))
+        forms, srcmap = read_all_spanned(source, filename)
+        for index, form in enumerate(forms):
+            span = (srcmap.span_of(form) if isinstance(form, list)
+                    else srcmap.span_at(forms, index))
+            try:
+                expanded = self.expander.expand(form)
+                if expanded is None:  # a define-syntax, eaten by the expander
+                    continue
+                results.append(self.eval(expanded, self.globals))
+            except LangError as error:
+                error.locate(span)
+                raise
         return results
 
     # ------------------------------------------------------------------

@@ -11,15 +11,50 @@ Produces a simple Python representation:
 - ``'x``     → ``[Symbol('quote'), x]``.
 
 Line comments start with ``;``.
+
+Every token carries its 1-based line and column, and the spanned entry
+points (:func:`read_all_spanned`) additionally return a
+:class:`SourceMap` locating every form: compound forms are keyed by the
+identity of their Python list, atoms — which are interned (symbols,
+small ints) and so have no usable identity — by their *(parent, index)*
+position. Source positions flow into :class:`ParseError`, into
+``LangError`` messages (see :meth:`repro.lang.interp.Interpreter.run`),
+and into ``symlint`` diagnostics.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+
+class Span(NamedTuple):
+    """A half-open source region, 1-based lines and columns."""
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    filename: Optional[str] = None
+
+    def label(self) -> str:
+        return f"{self.filename or '<string>'}:{self.line}:{self.col}"
 
 
 class ParseError(ValueError):
     """A syntax error in HL source text."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 col: Optional[int] = None,
+                 filename: Optional[str] = None):
+        if line is not None:
+            where = f"{filename or '<string>'}:{line}"
+            if col is not None:
+                where += f":{col}"
+            message = f"{where}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
+        self.filename = filename
 
 
 class Symbol(str):
@@ -40,29 +75,100 @@ class Symbol(str):
         return str(self)
 
 
+class Token(NamedTuple):
+    """One lexeme with its source extent."""
+
+    kind: str
+    value: object
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+
+class SourceMap:
+    """Spans for the forms of one parsed source text.
+
+    Compound forms (Python lists) are located by object identity; atoms
+    cannot be (symbols and small integers are interned), so they are
+    located by their position inside the nearest enclosing form. The map
+    holds strong references to every recorded form, keeping the ids it
+    keys on valid for its own lifetime.
+    """
+
+    def __init__(self, filename: Optional[str] = None):
+        self.filename = filename
+        self._forms: Dict[int, Span] = {}
+        self._atoms: Dict[Tuple[int, int], Span] = {}
+        self._retain: List[object] = []
+
+    def record_form(self, form: list, span: Span) -> None:
+        self._forms[id(form)] = span
+        self._retain.append(form)
+
+    def record_atom(self, parent: list, index: int, span: Span) -> None:
+        self._atoms[(id(parent), index)] = span
+        self._retain.append(parent)
+
+    def span_of(self, form) -> Optional[Span]:
+        """The span of a compound form, or None if unrecorded."""
+        return self._forms.get(id(form))
+
+    def atom_span(self, parent, index: int) -> Optional[Span]:
+        """The span of the atom at `parent[index]`, or None."""
+        return self._atoms.get((id(parent), index))
+
+    def span_at(self, parent, index: int) -> Optional[Span]:
+        """The span of `parent[index]`, compound or atom."""
+        try:
+            child = parent[index]
+        except (IndexError, TypeError):
+            return None
+        if isinstance(child, list):
+            return self.span_of(child)
+        return self.atom_span(parent, index)
+
+
 _DELIMS = "()[]'\";"
 _CLOSER = {"(": ")", "[": "]"}
 
 
-def tokenize(text: str) -> List[Tuple[str, object]]:
-    """Split source text into (kind, value) tokens."""
-    tokens: List[Tuple[str, object]] = []
+def tokenize(text: str, filename: Optional[str] = None) -> List[Token]:
+    """Split source text into :class:`Token` lexemes with positions."""
+    tokens: List[Token] = []
     i = 0
     n = len(text)
+    line = 1
+    col = 1
+
+    def advance(upto: int) -> None:
+        """Move the (line, col) cursor forward to index `upto`."""
+        nonlocal i, line, col
+        while i < upto:
+            if text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
     while i < n:
         ch = text[i]
         if ch.isspace():
-            i += 1
+            advance(i + 1)
         elif ch == ";":
-            while i < n and text[i] != "\n":
-                i += 1
+            j = i
+            while j < n and text[j] != "\n":
+                j += 1
+            advance(j)
         elif ch in "()[]":
-            tokens.append(("paren", ch))
-            i += 1
+            tokens.append(Token("paren", ch, line, col, line, col + 1))
+            advance(i + 1)
         elif ch == "'":
-            tokens.append(("quote", "'"))
-            i += 1
+            tokens.append(Token("quote", "'", line, col, line, col + 1))
+            advance(i + 1)
         elif ch == '"':
+            start_line, start_col = line, col
             j = i + 1
             chunks: List[str] = []
             while j < n and text[j] != '"':
@@ -74,15 +180,20 @@ def tokenize(text: str) -> List[Tuple[str, object]]:
                     chunks.append(text[j])
                     j += 1
             if j >= n:
-                raise ParseError("unterminated string literal")
-            tokens.append(("string", "".join(chunks)))
-            i = j + 1
+                raise ParseError("unterminated string literal",
+                                 start_line, start_col, filename)
+            advance(j + 1)
+            tokens.append(Token("string", "".join(chunks),
+                                start_line, start_col, line, col))
         else:
+            start_line, start_col = line, col
             j = i
             while j < n and not text[j].isspace() and text[j] not in _DELIMS:
                 j += 1
-            tokens.append(("atom", text[i:j]))
-            i = j
+            lexeme = text[i:j]
+            advance(j)
+            tokens.append(Token("atom", lexeme,
+                                start_line, start_col, line, col))
     return tokens
 
 
@@ -100,13 +211,38 @@ def _parse_atom(text: str) -> object:
     return Symbol(text)
 
 
-def _read_form(tokens: List[Tuple[str, object]], position: int):
+def _token_span(tokens: List[Token], start: int, end: int,
+                filename: Optional[str]) -> Span:
+    """The source extent covered by tokens[start:end]."""
+    first, last = tokens[start], tokens[end - 1]
+    return Span(first.line, first.col, last.end_line, last.end_col, filename)
+
+
+def _read_form(tokens: List[Token], position: int,
+               srcmap: Optional[SourceMap] = None):
+    filename = srcmap.filename if srcmap is not None else None
     if position >= len(tokens):
+        if tokens:
+            last = tokens[-1]
+            raise ParseError("unexpected end of input",
+                             last.end_line, last.end_col, filename)
         raise ParseError("unexpected end of input")
-    kind, value = tokens[position]
+    token = tokens[position]
+    kind, value = token.kind, token.value
     if kind == "quote":
-        inner, after = _read_form(tokens, position + 1)
-        return [Symbol("quote"), inner], after
+        inner, after = _read_form(tokens, position + 1, srcmap)
+        quoted = [Symbol("quote"), inner]
+        if srcmap is not None:
+            span = _token_span(tokens, position, after, filename)
+            srcmap.record_form(quoted, span)
+            srcmap.record_atom(quoted, 0, Span(token.line, token.col,
+                                               token.end_line, token.end_col,
+                                               filename))
+            if not isinstance(inner, list):
+                srcmap.record_atom(
+                    quoted, 1,
+                    _token_span(tokens, position + 1, after, filename))
+        return quoted, after
     if kind == "string":
         return value, position + 1
     if kind == "atom":
@@ -114,20 +250,33 @@ def _read_form(tokens: List[Tuple[str, object]], position: int):
     if kind == "paren" and value in "([":
         closer = _CLOSER[value]
         items: List[object] = []
+        start = position
         position += 1
         while True:
             if position >= len(tokens):
-                raise ParseError(f"missing closing '{closer}'")
-            next_kind, next_value = tokens[position]
-            if next_kind == "paren" and next_value in ")]":
-                if next_value != closer:
+                raise ParseError(f"missing closing '{closer}'",
+                                 token.line, token.col, filename)
+            next_token = tokens[position]
+            if next_token.kind == "paren" and next_token.value in ")]":
+                if next_token.value != closer:
                     raise ParseError(
                         f"mismatched delimiter: expected '{closer}', "
-                        f"got '{next_value}'")
+                        f"got '{next_token.value}'",
+                        next_token.line, next_token.col, filename)
+                if srcmap is not None:
+                    srcmap.record_form(
+                        items,
+                        _token_span(tokens, start, position + 1, filename))
                 return items, position + 1
-            form, position = _read_form(tokens, position)
+            child_start = position
+            form, position = _read_form(tokens, position, srcmap)
+            if srcmap is not None and not isinstance(form, list):
+                srcmap.record_atom(
+                    items, len(items),
+                    _token_span(tokens, child_start, position, filename))
             items.append(form)
-    raise ParseError(f"unexpected token {value!r}")
+    raise ParseError(f"unexpected token {value!r}",
+                     token.line, token.col, filename)
 
 
 def read(text: str):
@@ -135,19 +284,41 @@ def read(text: str):
     tokens = tokenize(text)
     form, after = _read_form(tokens, 0)
     if after != len(tokens):
-        raise ParseError("trailing input after the first form")
+        extra = tokens[after]
+        raise ParseError("trailing input after the first form",
+                         extra.line, extra.col)
     return form
 
 
 def read_all(text: str) -> List[object]:
     """Parse all top-level forms in `text`."""
-    tokens = tokenize(text)
+    forms, _ = read_all_spanned(text, srcmap=None)
+    return forms
+
+
+def read_all_spanned(text: str, filename: Optional[str] = None,
+                     srcmap: Optional[SourceMap] = ...,
+                     ) -> Tuple[List[object], Optional[SourceMap]]:
+    """Parse all top-level forms, returning them with a :class:`SourceMap`.
+
+    Top-level atoms are recorded against the returned forms list itself
+    (``srcmap.span_at(forms, i)``). Passing ``srcmap=None`` disables span
+    recording (this is how :func:`read_all` is implemented).
+    """
+    if srcmap is ...:
+        srcmap = SourceMap(filename)
+    tokens = tokenize(text, filename)
     forms: List[object] = []
     position = 0
     while position < len(tokens):
-        form, position = _read_form(tokens, position)
+        start = position
+        form, position = _read_form(tokens, position, srcmap)
+        if srcmap is not None and not isinstance(form, list):
+            srcmap.record_atom(
+                forms, len(forms),
+                _token_span(tokens, start, position, filename))
         forms.append(form)
-    return forms
+    return forms, srcmap
 
 
 def write_form(form) -> str:

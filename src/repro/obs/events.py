@@ -44,6 +44,13 @@ Event taxonomy (name — category — payload):
 ``vm.join``               vm     ``cardinality`` (feasible alternatives)
 ``vm.merge``              vm     ``locations`` (merged heap locations)
 ``vm.union``              vm     ``cardinality``
+``analysis.sanitize``     analysis  span: ``nodes``; end: SanitizeStats
+                                 delta + ``changed``; instant:
+                                 ``proved_false``, ``term``
+``analysis.race``         analysis  ``pairs``, ``discharged``,
+                                 ``overlaps``, ``residual`` (per launch)
+``analysis.lint``         analysis  span: ``files``; end:
+                                 ``diagnostics`` + per-severity counts
 ========================  ====  ==============================================
 """
 

@@ -188,6 +188,31 @@ class BusMetrics:
             reg.counter("cegis.iterations").inc()
             reg.counter(
                 f"cegis.outcome.{args.get('outcome', '?')}").inc()
+        elif name == "analysis.sanitize":
+            if ph == END:
+                reg.counter("analysis.sanitize.passes").inc()
+                reg.counter("analysis.sanitize.rewrites").inc(
+                    args.get("rewrites", 0))
+                reg.counter("analysis.sanitize.guards_decided").inc(
+                    args.get("guards_decided", 0))
+                reg.counter("analysis.sanitize.certified").inc(
+                    args.get("certified", 0))
+            elif ph == INSTANT and args.get("proved_false"):
+                # proved-true/false verdicts land after the span closes;
+                # the proved-false one is an instant of its own.
+                reg.counter("analysis.sanitize.proved_false").inc()
+        elif name == "analysis.race" and ph == INSTANT:
+            reg.counter("analysis.race.launches").inc()
+            reg.counter("analysis.race.pairs").inc(args.get("pairs", 0))
+            reg.counter("analysis.race.discharged").inc(
+                args.get("discharged", 0))
+            reg.counter("analysis.race.residual").inc(
+                args.get("residual", 0))
+        elif name == "analysis.lint" and ph == END:
+            reg.counter("analysis.lint.runs").inc()
+            reg.counter("analysis.lint.files").inc(args.get("files", 0))
+            reg.counter("analysis.lint.diagnostics").inc(
+                args.get("diagnostics", 0))
 
     def subscribed(self):
         """Context manager: receive events for the dynamic extent."""

@@ -93,7 +93,8 @@ def debug(thunk: Callable[[], object],
           max_conflicts: Optional[int] = None,
           budget: Optional[Budget] = None,
           trace=None,
-          certify: Optional[bool] = None) -> QueryOutcome:
+          certify: Optional[bool] = None,
+          analyze: Optional[bool] = None) -> QueryOutcome:
     """Localize the failure of `thunk` to a minimal core of expressions.
 
     Returns a ``sat`` outcome whose ``core`` lists the labels of a minimal
@@ -108,17 +109,18 @@ def debug(thunk: Callable[[], object],
     observability sink exactly as in :func:`repro.queries.queries.solve`,
     and `certify` likewise enables trust-but-verify mode — in this query
     it additionally re-proves the minimized core unsat on a fresh solver
-    before the core is reported.
+    before the core is reported. `analyze` enables the pre-solver
+    sanitizer as in :func:`repro.queries.queries.solve`.
     """
     from repro.queries.queries import _query_span
     with tracing(trace), _query_span("query.debug") as span:
         span.outcome = outcome = _debug(thunk, predicate, max_conflicts,
-                                        budget, certify)
+                                        budget, certify, analyze)
         return outcome
 
 
 def _debug(thunk, predicate, max_conflicts, budget,
-           certify=None) -> QueryOutcome:
+           certify=None, analyze=None) -> QueryOutcome:
     if predicate is None:
         predicate = lambda value: True  # relax every primitive
     with VM() as vm, DebugSession(predicate) as session:
@@ -135,7 +137,7 @@ def _debug(thunk, predicate, max_conflicts, budget,
                 "unknown", stats=vm.stats,
                 message="failure is independent of any relaxable expression")
         solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
-                           certify=certify)
+                           certify=certify, analyze=analyze)
         for assertion in vm.assertions:
             solver.add_assertion(assertion)
         selectors = [selector for _, selector in session.relaxations]

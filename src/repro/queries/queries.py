@@ -100,7 +100,8 @@ def solve(thunk: Callable[[], object],
           max_conflicts: Optional[int] = None,
           budget: Optional[Budget] = None,
           trace=None,
-          certify: Optional[bool] = None) -> QueryOutcome:
+          certify: Optional[bool] = None,
+          analyze: Optional[bool] = None) -> QueryOutcome:
     """Find an interpretation under which the thunk's assertions all hold.
 
     `budget` bounds the whole query (encoding and solving); on exhaustion
@@ -115,21 +116,26 @@ def solve(thunk: Callable[[], object],
     DRUP proof is logged and every answer is independently re-checked
     (see :mod:`repro.solver.certify`). ``None`` defers to the
     ``REPRO_CERTIFY`` environment variable.
+
+    `analyze` turns on the pre-solver static-analysis sanitizer
+    (:mod:`repro.analysis`): each asserted formula is rewritten through
+    abstract interpretation before bit-blasting. ``None`` defers to the
+    ``REPRO_ANALYZE`` environment variable.
     """
     with tracing(trace), _query_span("query.solve") as span:
         span.outcome = outcome = _solve(thunk, max_conflicts, budget,
-                                        certify)
+                                        certify, analyze)
         return outcome
 
 
-def _solve(thunk, max_conflicts, budget, certify) -> QueryOutcome:
+def _solve(thunk, max_conflicts, budget, certify, analyze) -> QueryOutcome:
     with VM() as vm:
         failed, _ = _run(thunk, vm)
         if failed:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="execution fails on every path")
         solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
-                           certify=certify)
+                           certify=certify, analyze=analyze)
         for assertion in vm.assertions:
             solver.add_assertion(assertion)
         result = _check(solver, vm)
@@ -146,7 +152,8 @@ def verify(thunk: Callable[[], object],
            max_conflicts: Optional[int] = None,
            budget: Optional[Budget] = None,
            trace=None,
-           certify: Optional[bool] = None) -> QueryOutcome:
+           certify: Optional[bool] = None,
+           analyze: Optional[bool] = None) -> QueryOutcome:
     """Find a counterexample: an interpretation violating some assertion.
 
     Assertions made by `setup` (and, in Rosette, any assertions made before
@@ -154,16 +161,17 @@ def verify(thunk: Callable[[], object],
     satisfy; assertions made by `thunk` are the verification targets. A
     `sat` outcome means the property FAILS (the model is the
     counterexample); `unsat` means the assertions hold for every input —
-    the paper's "no counterexample found". `trace` and `certify` are as
-    in :func:`solve`.
+    the paper's "no counterexample found". `trace`, `certify`, and
+    `analyze` are as in :func:`solve`.
     """
     with tracing(trace), _query_span("query.verify") as span:
         span.outcome = outcome = _verify(thunk, setup, max_conflicts,
-                                         budget, certify)
+                                         budget, certify, analyze)
         return outcome
 
 
-def _verify(thunk, setup, max_conflicts, budget, certify) -> QueryOutcome:
+def _verify(thunk, setup, max_conflicts, budget, certify,
+            analyze) -> QueryOutcome:
     with VM() as vm:
         if setup is not None:
             setup_failed, _ = _run(setup, vm)
@@ -183,7 +191,7 @@ def _verify(thunk, setup, max_conflicts, budget, certify) -> QueryOutcome:
             return QueryOutcome("unsat", stats=vm.stats,
                                 message="no assertions reachable")
         solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
-                           certify=certify)
+                           certify=certify, analyze=analyze)
         for assumption in assumptions:
             solver.add_assertion(assumption)
         solver.add_assertion(T.mk_or(*[T.mk_not(a) for a in targets]))
@@ -219,7 +227,8 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
           max_conflicts: Optional[int] = None,
           budget: Optional[Budget] = None,
           iteration_budget: Optional[dict] = None,
-          certify: Optional[bool] = None) -> QueryOutcome:
+          certify: Optional[bool] = None,
+          analyze: Optional[bool] = None) -> QueryOutcome:
     """Counterexample-guided inductive synthesis of ∃holes ∀inputs. goal.
 
     Counterexamples are *substituted* into the goal formula — the term
@@ -251,9 +260,9 @@ def cegis(goal: T.Term, input_terms: Sequence[T.Term], vm: VM,
     hole_terms = [var for var in T.term_vars(goal) if var not in inputs]
     examples: List[dict] = [{var: _default_value(var) for var in inputs}]
     guess_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
-                             certify=certify)
+                             certify=certify, analyze=analyze)
     check_solver = SmtSolver(max_conflicts=max_conflicts, budget=budget,
-                             certify=certify)
+                             certify=certify, analyze=analyze)
 
     def _exhausted(solver: SmtSolver, phase: str) -> QueryOutcome:
         outcome = _unknown(vm, solver)
@@ -344,7 +353,8 @@ def synthesize(inputs: Sequence, thunk: Callable[[], object],
                budget: Optional[Budget] = None,
                iteration_budget: Optional[dict] = None,
                trace=None,
-               certify: Optional[bool] = None) -> QueryOutcome:
+               certify: Optional[bool] = None,
+               analyze: Optional[bool] = None) -> QueryOutcome:
     """CEGIS synthesis: make the assertions hold for *all* `inputs`.
 
     `inputs` are the universally quantified symbolic constants (the paper's
@@ -352,17 +362,17 @@ def synthesize(inputs: Sequence, thunk: Callable[[], object],
     the assertions is an existentially quantified hole. Assertions made by
     `setup` are input preconditions: the goal is ∀inputs. pre ⇒ post.
     See :func:`cegis` for the `budget`/`iteration_budget` semantics and
-    :func:`solve` for `trace` and `certify`.
+    :func:`solve` for `trace`, `certify`, and `analyze`.
     """
     with tracing(trace), _query_span("query.synthesize") as span:
         span.outcome = outcome = _synthesize(
             inputs, thunk, setup, max_iterations, max_conflicts, budget,
-            iteration_budget, certify)
+            iteration_budget, certify, analyze)
         return outcome
 
 
 def _synthesize(inputs, thunk, setup, max_iterations, max_conflicts,
-                budget, iteration_budget, certify) -> QueryOutcome:
+                budget, iteration_budget, certify, analyze) -> QueryOutcome:
     with VM() as vm:
         if setup is not None:
             setup_failed, _ = _run(setup, vm)
@@ -384,7 +394,8 @@ def _synthesize(inputs, thunk, setup, max_iterations, max_conflicts,
                      max_conflicts=max_conflicts,
                      budget=budget,
                      iteration_budget=iteration_budget,
-                     certify=certify)
+                     certify=certify,
+                     analyze=analyze)
 
 
 def _default_value(var: T.Term):

@@ -92,7 +92,13 @@ def mm_sketch(a: Sequence, b: Sequence, n: int, p: int, m: int) -> Tuple:
     are replaced by choices among the plausible dimension constants; the
     synthesizer must recover the row-major access pattern.
     """
-    runtime = CLRuntime(check_races=False)  # holes make races symbolic
+    # Hole-dependent accesses make the race obligations symbolic; in
+    # "symbolic" mode they are *modeled* — folded into the path condition
+    # for the synthesizer — instead of silently skipped. (For this sketch
+    # the only writes land at each item's own concrete gid, so the static
+    # pre-detector discharges every pair without a single solver check;
+    # the holes sit in read indices, which race with no write.)
+    runtime = CLRuntime(race_mode="symbolic")
     buf_a = runtime.buffer("A", a)
     buf_b = runtime.buffer("B", b)
     buf_c = runtime.buffer("C", [0] * (n * m))

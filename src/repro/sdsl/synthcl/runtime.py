@@ -14,12 +14,24 @@ conditional writes over every cell.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.sym import ops
+from repro.analysis.races import RaceReport, classify_launch
 from repro.vm import assert_
 from repro.vm.errors import AssertionFailure
 from repro.vm.mutable import Vector
+
+#: Race-checking modes for :class:`CLRuntime`.
+#:
+#: - ``"off"``      — no checking at all (trusted kernels only).
+#: - ``"assert"``   — static pre-detection, then *fail fast*: a pair the
+#:   analysis proves overlapping raises :class:`KernelRace` at launch.
+#: - ``"symbolic"`` — static pre-detection, then every non-discharged
+#:   pair (including definite overlaps) becomes a path-guarded
+#:   assertion, so hole-dependent races are *modeled* for the solver —
+#:   a verify query finds the racy input, a synthesize query rules the
+#:   racy candidate out — rather than aborting host execution.
+RACE_MODES = ("off", "assert", "symbolic")
 
 
 class KernelRace(AssertionFailure):
@@ -75,9 +87,21 @@ class WorkItemContext:
 class CLRuntime:
     """Host-side runtime: buffer management and kernel launches."""
 
-    def __init__(self, check_races: bool = True):
-        self.check_races = check_races
+    def __init__(self, check_races: bool = True,
+                 race_mode: Optional[str] = None):
+        # `race_mode` is the explicit knob; the legacy `check_races`
+        # boolean maps onto it (True → "assert", False → "off") when no
+        # mode is given.
+        if race_mode is None:
+            race_mode = "assert" if check_races else "off"
+        if race_mode not in RACE_MODES:
+            raise ValueError(
+                f"race_mode must be one of {RACE_MODES}, got {race_mode!r}")
+        self.race_mode = race_mode
+        self.check_races = race_mode != "off"
         self.buffers: Dict[str, Buffer] = {}
+        #: Static race classifications, one :class:`RaceReport` per launch.
+        self.race_reports: List[RaceReport] = []
 
     def buffer(self, name: str, contents: Sequence) -> Buffer:
         buf = Buffer(name, contents)
@@ -87,32 +111,38 @@ class CLRuntime:
     def launch(self, kernel: Callable, global_size: int) -> None:
         """Run `kernel(item)` for every work item in the NDRange.
 
-        After all instances run, the runtime asserts that no write by one
+        After all instances run, the runtime checks that no write by one
         instance conflicts with a read or write of the same buffer cell by
         another instance — the implicit memory-safety obligations that the
-        SYNTHCL verifier checks and the synthesizer enforces.
+        SYNTHCL verifier checks and the synthesizer enforces. The static
+        pre-detector (:mod:`repro.analysis.races`) discharges the provably
+        disjoint pairs first; only the residue reaches the solver. See
+        :data:`RACE_MODES` for how definite overlaps are reported.
         """
         if global_size <= 0:
             raise ValueError("global_size must be positive")
         items = [WorkItemContext(self, gid) for gid in range(global_size)]
         for item in items:
             kernel(item)
-        if self.check_races:
-            self._assert_race_free(items)
+        if self.race_mode != "off":
+            self._check_races(items)
 
-    def _assert_race_free(self, items: Sequence[WorkItemContext]) -> None:
-        for i, item_a in enumerate(items):
-            writes_a = [(buf, idx) for buf, idx, is_write in item_a.accesses
-                        if is_write]
-            if not writes_a:
-                continue
-            for item_b in items[i + 1:]:
-                for buf_a, idx_a in writes_a:
-                    for buf_b, idx_b, _ in item_b.accesses:
-                        if buf_a != buf_b:
-                            continue
-                        distinct = ops.not_(ops.num_eq(idx_a, idx_b))
-                        assert_(distinct,
-                                f"conflicting access to {buf_a} by work "
-                                f"items {item_a.global_id} and "
-                                f"{item_b.global_id}")
+    def _check_races(self, items: Sequence[WorkItemContext]) -> None:
+        report, residual = classify_launch(items)
+        self.race_reports.append(report)
+        overlap = report.first_overlap()
+        if overlap is not None and self.race_mode == "assert":
+            raise KernelRace(
+                f"conflicting access to {overlap.buffer} by work items "
+                f"{overlap.item_a} and {overlap.item_b} "
+                f"(proven statically: {overlap.reason})")
+        if overlap is not None:
+            # Symbolic mode: a definite overlap becomes an unconditional
+            # failed obligation on this path, like any other assert.
+            assert_(False,
+                    f"conflicting access to {overlap.buffer} by work items "
+                    f"{overlap.item_a} and {overlap.item_b}")
+        for check, distinct in residual:
+            assert_(distinct,
+                    f"conflicting access to {check.buffer} by work "
+                    f"items {check.item_a} and {check.item_b}")

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import time
 
+from repro.analysis.sanitize import SanitizeStats, sanitize_assertion
 from repro.obs.events import BUS
 from repro.smt import terms as T
 from repro.smt.bitblast import BitBlaster
@@ -53,6 +54,11 @@ from repro.solver.sat import SatResult, SatSolver
 def _certify_default() -> bool:
     """`certify=None` resolves against the REPRO_CERTIFY environment knob."""
     return os.environ.get("REPRO_CERTIFY", "") not in ("", "0")
+
+
+def _analyze_default() -> bool:
+    """`analyze=None` resolves against the REPRO_ANALYZE environment knob."""
+    return os.environ.get("REPRO_ANALYZE", "") not in ("", "0")
 
 
 class SmtResult(enum.Enum):
@@ -84,12 +90,17 @@ class CheckStats:
     # How many of the covered checks had their answer independently
     # certified (model check, proof check, or a trivially-false fast path).
     certified: int = 0
+    # Sanitizer rewrites applied to assertions covered by this check (the
+    # pre-pass runs at add_assertion time, so like the encode counters it
+    # is attributed to the first check that uses the formula).
+    sanitize_rewrites: int = 0
 
     def copy(self) -> "CheckStats":
         return CheckStats(self.checks, self.conflicts, self.decisions,
                           self.propagations, self.learned,
                           self.encode_hits, self.encode_misses,
-                          self.seconds, self.tripped, self.certified)
+                          self.seconds, self.tripped, self.certified,
+                          self.sanitize_rewrites)
 
     def __sub__(self, other: "CheckStats") -> "CheckStats":
         return CheckStats(
@@ -102,7 +113,8 @@ class CheckStats:
             self.encode_misses - other.encode_misses,
             self.seconds - other.seconds,
             self.tripped - other.tripped,
-            self.certified - other.certified)
+            self.certified - other.certified,
+            self.sanitize_rewrites - other.sanitize_rewrites)
 
     def __iadd__(self, other: "CheckStats") -> "CheckStats":
         self.checks += other.checks
@@ -115,6 +127,7 @@ class CheckStats:
         self.seconds += other.seconds
         self.tripped += other.tripped
         self.certified += other.certified
+        self.sanitize_rewrites += other.sanitize_rewrites
         return self
 
 
@@ -169,7 +182,8 @@ class SmtSolver:
 
     def __init__(self, max_conflicts: Optional[int] = None,
                  budget: Optional[Budget] = None,
-                 certify: Optional[bool] = None):
+                 certify: Optional[bool] = None,
+                 analyze: Optional[bool] = None):
         self.sat = SatSolver()
         self.sat.max_conflicts = max_conflicts
         # Trust-but-verify mode: with `certify` (or REPRO_CERTIFY=1), the
@@ -183,6 +197,14 @@ class SmtSolver:
         self.proof: Optional[ProofLog] = (
             self.sat.enable_proof() if self.certify else None)
         self.last_cert: Optional[str] = None
+        # Pre-solver static analysis: with `analyze` (or REPRO_ANALYZE=1),
+        # every asserted formula runs through the abstract-interpretation
+        # sanitizer and the *rewritten* term is what gets bit-blasted. The
+        # original terms stay in `assertions()`, so SAT-answer
+        # certification re-evaluates the pre-rewrite formulas — an unsound
+        # rewrite surfaces as a CertificationError, not a wrong answer.
+        self.analyze = _analyze_default() if analyze is None else bool(analyze)
+        self.sanitize_stats = SanitizeStats()
         self.blaster = BitBlaster(self.sat)
         self._assertions: List[T.Term] = []   # base (unscoped) assertions
         self._base_false = False              # base asserted constant FALSE
@@ -230,15 +252,29 @@ class SmtSolver:
         """
         if term.sort is not T.BOOL:
             raise TypeError(f"assertions must be boolean: {term!r}")
+        encoded = self._sanitized(term)
+        # A *syntactically* false assertion keeps the zero-work fast path
+        # unconditionally. A sanitizer-proved false does too, except in
+        # certify mode, where the constant is encoded instead so the UNSAT
+        # answer is backed by a checkable DRUP proof rather than the
+        # analysis' word.
+        is_false = term is T.FALSE or (encoded is T.FALSE and not self.certify)
         if self._scopes:
             scope = self._scopes[-1]
             scope.assertions.append(term)
-            scope.has_false = scope.has_false or term is T.FALSE
-            self._encode(term, guard=-scope.act)
+            scope.has_false = scope.has_false or is_false
+            self._encode(encoded, guard=-scope.act)
         else:
             self._assertions.append(term)
-            self._base_false = self._base_false or term is T.FALSE
-            self._encode(term)
+            self._base_false = self._base_false or is_false
+            self._encode(encoded)
+
+    def _sanitized(self, term: T.Term) -> T.Term:
+        """The term to encode: the sanitizer's rewrite when analysis is on."""
+        if not self.analyze or term.is_const:
+            return term
+        return sanitize_assertion(term, certify=self.certify,
+                                  stats=self.sanitize_stats)
 
     def _encode(self, term: T.Term, guard: Optional[int] = None) -> None:
         """Bit-blast one assertion, downgrading encode-budget trips.
@@ -309,7 +345,8 @@ class SmtSolver:
         sat, blaster = self.sat, self.blaster
         return CheckStats(0, sat.num_conflicts, sat.num_decisions,
                           sat.num_propagations, sat.num_learned,
-                          blaster.cache_hits, blaster.cache_misses)
+                          blaster.cache_hits, blaster.cache_misses,
+                          sanitize_rewrites=self.sanitize_stats.rewrites)
 
     def _record_check(self, seconds: float = 0.0,
                       tripped: bool = False,
@@ -431,7 +468,8 @@ class SmtSolver:
                         encode_misses=delta.encode_misses,
                         seconds=delta.seconds,
                         tripped=delta.tripped,
-                        certified=delta.certified)
+                        certified=delta.certified,
+                        sanitize_rewrites=delta.sanitize_rewrites)
 
     def _search_report(self, started: float) -> ResourceReport:
         """Describe a search-phase UNKNOWN (budget trip or conflict cap)."""

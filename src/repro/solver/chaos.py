@@ -31,6 +31,10 @@ Fault taxonomy (``FAULT_CLASSES``):
     Mis-encode one XOR gate in the bit-blaster (wrong output polarity), a
     fault the CNF model check *cannot* see (the model genuinely satisfies
     the corrupted clauses) but the term-level re-evaluation catches.
+``corrupt-sanitizer``
+    Corrupt one abstract transfer function of the formula sanitizer
+    (:mod:`repro.analysis`), making it claim a spurious singleton; the
+    certify-mode cross-check must reject the resulting rewrite.
 
 Two fault classes (``flip-learned-literal``, ``drop-learned-clause``)
 mutate a *redundant* proof position in unlucky cases — a flipped or
@@ -69,6 +73,7 @@ FAULT_CLASSES = (
     "truncate-core",
     "corrupt-term-model",
     "sabotage-encoder",
+    "corrupt-sanitizer",
 )
 
 
@@ -331,6 +336,35 @@ def _fault_sabotage_encoder(rng: random.Random) -> FaultOutcome:
                         "no sabotaged encoding was rejected")
 
 
+def _fault_corrupt_sanitizer(rng: random.Random) -> FaultOutcome:
+    from repro.analysis.domains import chaos_wrong_transfer
+    from repro.analysis.sanitize import sanitize
+
+    # Satisfiable *and* falsifiable, so a spurious TRUE/FALSE verdict is
+    # wrong somewhere; every op below appears once.
+    x = T.bv_var("chaos_san_x", 4)
+    y = T.bv_var("chaos_san_y", 4)
+    phi = T.mk_eq(
+        T.mk_add(T.mk_mul(x, y),
+                 T.mk_bvand(x, T.mk_bvor(y, T.bv_const(3, 4)))),
+        T.mk_bvxor(x, y))
+    present = sorted({node.op for node in T.postorder(phi)
+                      if not (node.is_const or node.is_var)})
+    rng.shuffle(present)
+    for op in present:
+        with chaos_wrong_transfer(op):
+            if sanitize(phi) is phi:
+                # The corrupted transfer produced no rewrite to catch.
+                continue
+            try:
+                sanitize(phi, certify=True)
+            except CertificationError as rejected:
+                return FaultOutcome("corrupt-sanitizer", True,
+                                    f"corrupted {op} transfer: {rejected}")
+    return FaultOutcome("corrupt-sanitizer", False,
+                        "no corrupted transfer function was rejected")
+
+
 _INJECTORS: Dict[str, Callable[[random.Random], FaultOutcome]] = {
     "flip-learned-literal": _fault_flip_learned_literal,
     "drop-learned-clause": _fault_drop_learned_clause,
@@ -340,6 +374,7 @@ _INJECTORS: Dict[str, Callable[[random.Random], FaultOutcome]] = {
     "truncate-core": _fault_truncate_core,
     "corrupt-term-model": _fault_corrupt_term_model,
     "sabotage-encoder": _fault_sabotage_encoder,
+    "corrupt-sanitizer": _fault_corrupt_sanitizer,
 }
 
 

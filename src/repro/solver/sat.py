@@ -143,6 +143,15 @@ class SatSolver:
         self.proof = proof if proof is not None else ProofLog()
         return self.proof
 
+    @property
+    def num_clauses(self) -> int:
+        """Stored problem clauses (excludes learnts and absorbed units)."""
+        return len(self._clauses)
+
+    @property
+    def num_learnt_clauses(self) -> int:
+        return len(self._learnts)
+
     # ------------------------------------------------------------------
     # Problem construction
     # ------------------------------------------------------------------

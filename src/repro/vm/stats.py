@@ -44,6 +44,7 @@ class EvalStats:
     encode_cache_misses: int = 0
     budget_trips: int = 0
     certified_checks: int = 0
+    sanitize_rewrites: int = 0
     _union_base: tuple = field(default=(0, 0), repr=False)
     _max_base: int = field(default=0, repr=False)
     _start: float = field(default=0.0, repr=False)
@@ -89,6 +90,7 @@ class EvalStats:
         # neither.
         self.budget_trips += getattr(check, "tripped", 0)
         self.certified_checks += getattr(check, "certified", 0)
+        self.sanitize_rewrites += getattr(check, "sanitize_rewrites", 0)
 
     def check_listener(self, event) -> None:
         """An event-bus sink accumulating ``smt.check`` span deltas.
@@ -110,6 +112,7 @@ class EvalStats:
         self.encode_cache_misses += args.get("encode_misses", 0)
         self.budget_trips += args.get("tripped", 0)
         self.certified_checks += args.get("certified", 0)
+        self.sanitize_rewrites += args.get("sanitize_rewrites", 0)
 
     def row(self) -> dict:
         """A Table 4-shaped row."""
@@ -134,4 +137,5 @@ class EvalStats:
             "encode_misses": self.encode_cache_misses,
             "budget_trips": self.budget_trips,
             "certified_checks": self.certified_checks,
+            "sanitize_rewrites": self.sanitize_rewrites,
         }

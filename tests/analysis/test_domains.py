@@ -1,0 +1,248 @@
+"""Soundness of the abstract domains, checked against exhaustive
+concretization at small widths.
+
+For every transfer function `f#` and abstract inputs `A, B`, soundness
+means ``{f(a, b) | a ∈ γ(A), b ∈ γ(B)} ⊆ γ(f#(A, B))``. At width ≤ 3
+the abstract elements and their concretizations are small enough to
+enumerate *all* of them, so these are proofs-by-exhaustion, not spot
+checks; width 4–6 is covered by seeded sampling over the same property.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.domains import (
+    BFALSE,
+    BTOP,
+    BTRUE,
+    AbsVal,
+    Interval,
+    KnownBits,
+    bool3,
+)
+
+WIDTHS = (1, 2, 3)
+
+
+def _all_knownbits(width):
+    for zeros in range(1 << width):
+        for ones in range(1 << width):
+            if zeros & ones:
+                continue
+            yield KnownBits(zeros, ones, width)
+
+
+def _all_intervals(width):
+    for lo in range(1 << width):
+        for hi in range(lo, 1 << width):
+            yield Interval(lo, hi, width)
+
+
+def _interval_values(interval):
+    return range(interval.lo, interval.hi + 1)
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+# ---------------------------------------------------------------------------
+# KnownBits
+# ---------------------------------------------------------------------------
+
+_KB_BINARY = [
+    ("and_", lambda a, b, m: a & b),
+    ("or_", lambda a, b, m: a | b),
+    ("xor_", lambda a, b, m: a ^ b),
+    ("add", lambda a, b, m: (a + b) & m),
+    ("sub", lambda a, b, m: (a - b) & m),
+    ("mul", lambda a, b, m: (a * b) & m),
+]
+
+_KB_UNARY = [
+    ("not_", lambda a, m: ~a & m),
+    ("neg", lambda a, m: -a & m),
+]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("name,concrete", _KB_BINARY)
+def test_knownbits_binary_transfers_sound(width, name, concrete):
+    mask = _mask(width)
+    for lhs in _all_knownbits(width):
+        for rhs in _all_knownbits(width):
+            out = getattr(lhs, name)(rhs)
+            for a in lhs.concretizations():
+                for b in rhs.concretizations():
+                    assert out.contains(concrete(a, b, mask)), (
+                        f"{name}: {lhs!r} op {rhs!r} -> {out!r} "
+                        f"misses f({a}, {b})")
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("name,concrete", _KB_UNARY)
+def test_knownbits_unary_transfers_sound(width, name, concrete):
+    mask = _mask(width)
+    for operand in _all_knownbits(width):
+        out = getattr(operand, name)()
+        for a in operand.concretizations():
+            assert out.contains(concrete(a, mask))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_knownbits_const_shifts_sound(width):
+    mask = _mask(width)
+    for operand in _all_knownbits(width):
+        for amount in range(width + 1):
+            shl = operand.shl_const(amount)
+            lshr = operand.lshr_const(amount)
+            ashr = operand.ashr_const(amount)
+            sign = 1 << (width - 1)
+            for a in operand.concretizations():
+                assert shl.contains((a << amount) & mask)
+                assert lshr.contains(a >> amount)
+                signed = a - (1 << width) if a & sign else a
+                assert ashr.contains((signed >> amount) & mask)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_knownbits_min_max_and_join(width):
+    for element in _all_knownbits(width):
+        values = list(element.concretizations())
+        assert min(values) == element.min_value()
+        assert max(values) == element.max_value()
+    top = KnownBits.top(width)
+    for element in _all_knownbits(width):
+        joined = element.join(top)
+        assert joined.zeros == 0 and joined.ones == 0
+
+
+# ---------------------------------------------------------------------------
+# Interval
+# ---------------------------------------------------------------------------
+
+_IV_BINARY = [
+    ("add", lambda a, b, m: (a + b) & m),
+    ("sub", lambda a, b, m: (a - b) & m),
+    ("mul", lambda a, b, m: (a * b) & m),
+    ("udiv", lambda a, b, m: (a // b) if b else m),
+    ("urem", lambda a, b, m: (a % b) if b else a),
+    ("bvand", lambda a, b, m: a & b),
+    ("bvor", lambda a, b, m: a | b),
+    ("bvxor", lambda a, b, m: a ^ b),
+    ("shl", lambda a, b, m: (a << b) & m),
+    ("lshr", lambda a, b, m: a >> b),
+]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("name,concrete", _IV_BINARY)
+def test_interval_binary_transfers_sound(width, name, concrete):
+    mask = _mask(width)
+    for lhs in _all_intervals(width):
+        for rhs in _all_intervals(width):
+            out = getattr(lhs, name)(rhs)
+            for a in _interval_values(lhs):
+                for b in _interval_values(rhs):
+                    assert out.contains(concrete(a, b, mask)), (
+                        f"{name}: {lhs!r} op {rhs!r} -> {out!r} "
+                        f"misses f({a}, {b})")
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_interval_unary_transfers_sound(width):
+    mask = _mask(width)
+    for operand in _all_intervals(width):
+        neg, bvnot = operand.neg(), operand.bvnot()
+        for a in _interval_values(operand):
+            assert neg.contains(-a & mask)
+            assert bvnot.contains(~a & mask)
+
+
+def _signed(value, width):
+    sign = 1 << (width - 1)
+    return value - (1 << width) if value & sign else value
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("name", ["ult", "ule", "slt", "sle"])
+def test_interval_comparisons_sound(width, name):
+    concrete = {
+        "ult": lambda a, b, w: a < b,
+        "ule": lambda a, b, w: a <= b,
+        "slt": lambda a, b, w: _signed(a, w) < _signed(b, w),
+        "sle": lambda a, b, w: _signed(a, w) <= _signed(b, w),
+    }[name]
+    for lhs in _all_intervals(width):
+        for rhs in _all_intervals(width):
+            verdict = getattr(lhs, name)(rhs)
+            truths = {concrete(a, b, width)
+                      for a in _interval_values(lhs)
+                      for b in _interval_values(rhs)}
+            if verdict is BTRUE:
+                assert truths == {True}
+            elif verdict is BFALSE:
+                assert truths == {False}
+            else:
+                assert verdict is BTOP
+
+
+# ---------------------------------------------------------------------------
+# Reduced product
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_reduction_preserves_concretization(width):
+    """reduce() may only *drop* values outside the product's meaning."""
+    for bits in _all_knownbits(width):
+        for rng in _all_intervals(width):
+            product = AbsVal(bits, rng)
+            members = [v for v in range(1 << width)
+                       if bits.contains(v) and rng.contains(v)]
+            reduced = product.reduce()
+            for value in members:
+                assert reduced.contains(value), (
+                    f"reduce dropped {value} from {product!r} -> {reduced!r}")
+
+
+@pytest.mark.parametrize("width", (4, 5, 6))
+@pytest.mark.parametrize("seed", range(8))
+def test_sampled_transfers_sound_at_larger_widths(width, seed):
+    """The same containment property, seeded-sampled at width 4–6."""
+    rng = random.Random(f"{width}:{seed}")
+    mask = _mask(width)
+
+    def sample_kb():
+        zeros = rng.randrange(1 << width)
+        ones = rng.randrange(1 << width) & ~zeros
+        return KnownBits(zeros, ones, width)
+
+    def sample_iv():
+        lo = rng.randrange(1 << width)
+        hi = rng.randrange(lo, 1 << width)
+        return Interval(lo, hi, width)
+
+    for _ in range(40):
+        ka, kb = sample_kb(), sample_kb()
+        name, concrete = _KB_BINARY[rng.randrange(len(_KB_BINARY))]
+        out = getattr(ka, name)(kb)
+        for _ in range(16):
+            a = rng.choice(list(ka.concretizations()))
+            b = rng.choice(list(kb.concretizations()))
+            assert out.contains(concrete(a, b, mask))
+
+        ia, ib = sample_iv(), sample_iv()
+        name, concrete = _IV_BINARY[rng.randrange(len(_IV_BINARY))]
+        out = getattr(ia, name)(ib)
+        for _ in range(16):
+            a = rng.randrange(ia.lo, ia.hi + 1)
+            b = rng.randrange(ib.lo, ib.hi + 1)
+            assert out.contains(concrete(a, b, mask))
+
+
+def test_bool3_basics():
+    assert bool3(True) is BTRUE
+    assert bool3(False) is BFALSE
+    assert bool3(None) is BTOP
+    assert BTOP is not BTRUE and BTOP is not BFALSE

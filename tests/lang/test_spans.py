@@ -1,0 +1,114 @@
+"""Source positions: tokens, the SourceMap, and located errors."""
+
+import pytest
+
+from repro.lang.interp import Interpreter, LangError
+from repro.lang.reader import (
+    ParseError,
+    Span,
+    read_all_spanned,
+    tokenize,
+)
+
+SOURCE = """\
+(define (double x)
+  (* x 2))
+(double
+  21)
+"""
+
+
+class TestTokens:
+    def test_positions_are_one_based(self):
+        tokens = tokenize("(+ 1 2)")
+        assert [(t.value, t.line, t.col) for t in tokens] == [
+            ("(", 1, 1), ("+", 1, 2), ("1", 1, 4), ("2", 1, 6), (")", 1, 7)]
+
+    def test_newlines_advance_lines(self):
+        tokens = tokenize("a\n  bb\n   c")
+        assert [(t.value, t.line, t.col, t.end_col) for t in tokens] == [
+            ("a", 1, 1, 2), ("bb", 2, 3, 5), ("c", 3, 4, 5)]
+
+    def test_string_spans_cover_quotes(self):
+        (token,) = tokenize('"hi there"')
+        assert (token.line, token.col, token.end_col) == (1, 1, 11)
+
+
+class TestSourceMap:
+    def test_form_spans_cover_multi_line_forms(self):
+        forms, srcmap = read_all_spanned(SOURCE, "demo.hl")
+        define, call = forms
+        assert srcmap.span_of(define) == Span(1, 1, 2, 11, "demo.hl")
+        assert srcmap.span_of(call) == Span(3, 1, 4, 6, "demo.hl")
+
+    def test_nested_forms_and_atoms(self):
+        forms, srcmap = read_all_spanned(SOURCE, "demo.hl")
+        define = forms[0]
+        header, body = define[1], define[2]
+        assert srcmap.span_of(header) == Span(1, 9, 1, 19, "demo.hl")
+        assert srcmap.span_of(body) == Span(2, 3, 2, 10, "demo.hl")
+        # Atoms are located by (parent, index).
+        assert srcmap.atom_span(header, 1) == Span(1, 17, 1, 18, "demo.hl")
+        assert srcmap.span_at(body, 2) == Span(2, 8, 2, 9, "demo.hl")
+
+    def test_top_level_atoms_keyed_by_forms_list(self):
+        forms, srcmap = read_all_spanned("alpha\n42", "top.hl")
+        assert srcmap.span_at(forms, 0) == Span(1, 1, 1, 6, "top.hl")
+        assert srcmap.span_at(forms, 1) == Span(2, 1, 2, 3, "top.hl")
+
+    def test_quote_forms_are_recorded(self):
+        forms, srcmap = read_all_spanned("'(1 2)", "q.hl")
+        assert srcmap.span_of(forms[0]) == Span(1, 1, 1, 7, "q.hl")
+
+    def test_span_label(self):
+        span = Span(3, 7, 3, 9, "file.hl")
+        assert span.label() == "file.hl:3:7"
+        assert Span(1, 1, 1, 2).label() == "<string>:1:1"
+
+
+class TestParseErrors:
+    def test_unterminated_string_located(self):
+        with pytest.raises(ParseError, match=r"f\.hl:1:6: unterminated"):
+            read_all_spanned('(ok) "oops', "f.hl")
+
+    def test_missing_closer_points_at_opener(self):
+        with pytest.raises(ParseError, match=r"g\.hl:2:3: missing closing"):
+            read_all_spanned("(a\n  (b c", "g.hl")
+
+    def test_mismatched_delimiter_located(self):
+        with pytest.raises(ParseError, match=r"<string>:1:3: mismatched"):
+            read_all_spanned("(a]")
+
+
+class TestLocatedLangErrors:
+    def test_runtime_error_carries_top_form_position(self):
+        interp = Interpreter()
+        source = "(define x 1)\n(undefined-fn x)\n"
+        with pytest.raises(LangError, match=r"prog\.hl:2:1: unbound"):
+            interp.run(source, filename="prog.hl")
+
+    def test_error_has_span_attribute(self):
+        interp = Interpreter()
+        try:
+            interp.run("(nope 1)", filename="c.hl")
+        except LangError as error:
+            assert error.span == Span(1, 1, 1, 9, "c.hl")
+        else:
+            pytest.fail("expected LangError")
+
+    def test_locate_is_idempotent(self):
+        error = LangError("boom")
+        span = Span(2, 5, 2, 9, "x.hl")
+        error.locate(span)
+        error.locate(Span(9, 9, 9, 9, "y.hl"))
+        assert error.span == span
+        assert str(error).startswith("x.hl:2:5: boom")
+
+    def test_run_without_filename_still_locates(self):
+        interp = Interpreter()
+        with pytest.raises(LangError, match=r"<string>:1:1"):
+            interp.run("(nope 1)")
+
+    def test_clean_programs_unaffected(self):
+        interp = Interpreter()
+        assert interp.run(SOURCE)[-1] == 42
